@@ -1,0 +1,116 @@
+// Command accubench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	accubench [flags] <experiment>...
+//	accubench -list
+//	accubench all                 # run every experiment
+//
+// Experiments: table1, fig2 ... fig7, thm1, ext-soft, ext-batch,
+// ext-multi, ext-defense, and claims (the executable checklist of the
+// paper's qualitative claims). Use -list for the full roster.
+//
+// The default configuration is laptop-scale; pass -scale 1 -networks 100
+// -runs 30 -k 500 -cautious 100 for the paper's full protocol.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	accu "github.com/accu-sim/accu"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "accubench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("accubench", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		asJSON   = fs.Bool("json", false, "emit reports as a JSON array instead of text")
+		verbose  = fs.Bool("v", false, "log experiment progress and timings to stderr")
+		scale    = fs.Float64("scale", 0.03, "network scale factor in (0, 1]")
+		networks = fs.Int("networks", 2, "sample networks per experiment (paper: 100)")
+		runs     = fs.Int("runs", 3, "runs per network (paper: 30)")
+		k        = fs.Int("k", 0, "friend-request budget (0 = derive from scale; paper: 500)")
+		cautious = fs.Int("cautious", 0, "cautious users per network (0 = derive; paper: 100)")
+		datasets = fs.String("datasets", "", "comma-separated preset names (default: all four)")
+		wd       = fs.Float64("wd", 0.5, "ABM direct-benefit weight w_D")
+		wi       = fs.Float64("wi", 0.5, "ABM indirect-benefit weight w_I")
+		seed     = fs.Uint64("seed", 20191243, "root random seed")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range accu.Experiments() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiment given (try -list, or: accubench all)")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = accu.Experiments()
+	}
+
+	cfg := accu.ExperimentConfig{
+		Scale:       *scale,
+		Networks:    *networks,
+		Runs:        *runs,
+		K:           *k,
+		NumCautious: *cautious,
+		Weights:     accu.Weights{WD: *wd, WI: *wi},
+		Seed:        accu.NewSeed(*seed, *seed^0x9e3779b97f4a7c15),
+		Workers:     *workers,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var reports []*accu.Report
+	for _, id := range ids {
+		start := time.Now()
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "accubench: running %s...\n", id)
+		}
+		rep, err := accu.RunExperiment(ctx, id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "accubench: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		if *asJSON {
+			reports = append(reports, rep)
+			continue
+		}
+		fmt.Fprintln(out, rep.String())
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return fmt.Errorf("encode reports: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	accu "github.com/accu-sim/accu"
+)
+
+func TestGenerateStats(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-preset", "slashdot", "-scale", "0.02", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"slashdot", "77360 nodes", "degree:", "band[10,100]", "components:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateEdgeListFile(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "edges.txt")
+	var buf bytes.Buffer
+	err := run([]string{"-preset", "dblp", "-scale", "0.01", "-out", tmp}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := accu.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 || g.M() == 0 {
+		t.Errorf("written graph empty: N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestUnknownPreset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "orkut"}, &buf); err == nil {
+		t.Error("unknown preset: want error")
+	}
+}
+
+func TestBadScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "5"}, &buf); err == nil {
+		t.Error("scale > 1: want error")
+	}
+}
+
+func TestBadOutPath(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-preset", "facebook", "-scale", "0.02", "-out", "/nonexistent-dir/x/edges.txt"}, &buf)
+	if err == nil {
+		t.Error("unwritable path: want error")
+	}
+}
+
+func TestInspectEdgeListFile(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "in.txt")
+	if err := os.WriteFile(tmp, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-in", tmp}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"loaded:      3 nodes, 3 edges", "assortativity", "degeneracy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-in", "/no/such/file"}, &buf); err == nil {
+		t.Error("missing input: want error")
+	}
+}

@@ -1,0 +1,169 @@
+// Command accurun executes a single adaptive attack with a chosen policy
+// and prints the request-by-request trace — useful for inspecting how ABM
+// courts cautious users.
+//
+// Usage:
+//
+//	accurun -preset slashdot -scale 0.02 -policy abm -k 50 [-wd 0.5 -wi 0.5]
+//
+// Policies: abm, greedy, maxdegree, pagerank, random.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	accu "github.com/accu-sim/accu"
+)
+
+// writeJournal saves the replayable request journal of a run.
+func writeJournal(path string, res *accu.Result) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create journal: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := res.Journal.WriteTo(f); err != nil {
+		return fmt.Errorf("write journal: %w", err)
+	}
+	return nil
+}
+
+// traceJSON is the machine-readable attack trace emitted by -json.
+type traceJSON struct {
+	Preset          string      `json:"preset"`
+	Scale           float64     `json:"scale"`
+	Nodes           int         `json:"nodes"`
+	Edges           int         `json:"edges"`
+	Cautious        int         `json:"cautious"`
+	Policy          string      `json:"policy"`
+	Budget          int         `json:"budget"`
+	Benefit         float64     `json:"benefit"`
+	Friends         int         `json:"friends"`
+	CautiousFriends int         `json:"cautiousFriends"`
+	Steps           []accu.Step `json:"steps"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "accurun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("accurun", flag.ContinueOnError)
+	var (
+		preset   = fs.String("preset", "slashdot", "dataset preset")
+		scale    = fs.Float64("scale", 0.02, "scale factor in (0, 1]")
+		policy   = fs.String("policy", "abm", "policy: abm|greedy|maxdegree|pagerank|random")
+		k        = fs.Int("k", 50, "friend-request budget")
+		wd       = fs.Float64("wd", 0.5, "ABM w_D")
+		wi       = fs.Float64("wi", 0.5, "ABM w_I")
+		cautious = fs.Int("cautious", 10, "number of cautious users")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		verbose  = fs.Bool("v", false, "print every request (default: accepted only)")
+		asJSON   = fs.Bool("json", false, "emit the full trace as JSON instead of text")
+		journal  = fs.String("journal", "", "write the replayable request journal to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := accu.PresetByName(*preset)
+	if err != nil {
+		return err
+	}
+	generator, err := p.Generator(*scale)
+	if err != nil {
+		return err
+	}
+	root := accu.NewSeed(*seed, *seed*2+1)
+	g, err := generator.Generate(root.Split("network"))
+	if err != nil {
+		return err
+	}
+	setup := accu.DefaultSetup()
+	setup.NumCautious = *cautious
+	inst, err := setup.Build(g, root.Split("setup"))
+	if err != nil {
+		return err
+	}
+	re := inst.SampleRealization(root.Split("realization"))
+
+	var pol accu.Policy
+	switch *policy {
+	case "abm":
+		pol, err = accu.NewABM(accu.Weights{WD: *wd, WI: *wi})
+		if err != nil {
+			return err
+		}
+	case "greedy":
+		pol = accu.NewPureGreedy()
+	case "maxdegree":
+		pol = accu.NewMaxDegree()
+	case "pagerank":
+		pol = accu.NewPageRank()
+	case "random":
+		pol = accu.NewRandom(root.Split("random-policy"))
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	res, err := accu.Run(pol, re, *k)
+	if err != nil {
+		return err
+	}
+	if *journal != "" {
+		if err := writeJournal(*journal, res); err != nil {
+			return err
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(traceJSON{
+			Preset:          p.Key,
+			Scale:           *scale,
+			Nodes:           g.N(),
+			Edges:           g.M(),
+			Cautious:        inst.NumCautious(),
+			Policy:          res.Policy,
+			Budget:          *k,
+			Benefit:         res.Benefit,
+			Friends:         res.Friends,
+			CautiousFriends: res.CautiousFriends,
+			Steps:           res.Steps,
+		})
+	}
+
+	fmt.Fprintf(out, "network: %s scale %.3f — %d nodes, %d edges, %d cautious\n",
+		p.Key, *scale, g.N(), g.M(), inst.NumCautious())
+	fmt.Fprintf(out, "policy:  %s, budget %d\n\n", res.Policy, *k)
+	for i, s := range res.Steps {
+		if !s.Accepted && !*verbose {
+			continue
+		}
+		kind := "reckless"
+		if s.Cautious {
+			kind = "CAUTIOUS"
+		}
+		status := "accepted"
+		if !s.Accepted {
+			status = "rejected"
+		}
+		fmt.Fprintf(out, "#%-4d user %-6d %-8s %-8s gain %7.1f  total %8.1f  cautious friends %d\n",
+			i+1, s.User, kind, status, s.Gain, s.BenefitAfter, s.CautiousFriendsAfter)
+	}
+	fmt.Fprintf(out, "\nfinal: benefit %.1f, friends %d (%d cautious), %d requests sent\n",
+		res.Benefit, res.Friends, res.CautiousFriends, len(res.Steps))
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunABMTrace(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-preset", "slashdot", "-scale", "0.02", "-k", "15", "-cautious", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"policy:  abm", "final:", "requests sent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllPolicies(t *testing.T) {
+	for _, policy := range []string{"abm", "greedy", "maxdegree", "pagerank", "random"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-preset", "slashdot", "-scale", "0.02", "-k", "10",
+			"-cautious", "5", "-policy", policy,
+		}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !strings.Contains(buf.String(), "final:") {
+			t.Errorf("%s: no final line:\n%s", policy, buf.String())
+		}
+	}
+}
+
+func TestUnknownPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-policy", "oracle"}, &buf); err == nil {
+		t.Error("unknown policy: want error")
+	}
+}
+
+func TestVerboseShowsRejections(t *testing.T) {
+	// With verbose on, the number of printed request lines must equal k
+	// (every request shown, accepted or not).
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "slashdot", "-scale", "0.02", "-k", "12",
+		"-cautious", "5", "-v",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(l, "#") {
+			lines++
+		}
+	}
+	if lines != 12 {
+		t.Errorf("verbose printed %d request lines, want 12", lines)
+	}
+}
+
+func TestBadPreset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "bad"}, &buf); err == nil {
+		t.Error("bad preset: want error")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "slashdot", "-scale", "0.02", "-k", "10",
+		"-cautious", "5", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Preset  string  `json:"preset"`
+		Budget  int     `json:"budget"`
+		Benefit float64 `json:"benefit"`
+		Steps   []struct {
+			User     int     `json:"User"`
+			Accepted bool    `json:"Accepted"`
+			Gain     float64 `json:"Gain"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Preset != "slashdot" || decoded.Budget != 10 {
+		t.Errorf("decoded %+v", decoded)
+	}
+	if len(decoded.Steps) != 10 {
+		t.Errorf("steps = %d", len(decoded.Steps))
+	}
+}
+
+func TestJournalFlag(t *testing.T) {
+	tmp := t.TempDir() + "/trace.journal"
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "slashdot", "-scale", "0.02", "-k", "8",
+		"-cautious", "5", "-journal", tmp,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines != 8 {
+		t.Errorf("journal lines = %d, want 8\n%s", lines, data)
+	}
+}

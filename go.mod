@@ -1,0 +1,3 @@
+module github.com/accu-sim/accu
+
+go 1.22

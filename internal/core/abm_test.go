@@ -1,0 +1,269 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/graph"
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+// randomInstance builds a moderately sized random instance with cautious
+// users for integration-style tests.
+func randomInstance(t *testing.T, seed uint64) *osn.Instance {
+	t.Helper()
+	b := graph.NewBuilder(300)
+	r := rng.NewSeed(seed, seed+1).Rand()
+	for b.M() < 3000 {
+		if _, err := b.AddEdge(r.IntN(300), r.IntN(300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Freeze()
+	s := osn.DefaultSetup()
+	s.NumCautious = 8
+	inst, err := s.Build(g, rng.NewSeed(seed+2, seed+3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestNewABMValidation(t *testing.T) {
+	if _, err := NewABM(Weights{WD: -1, WI: 1}); err == nil {
+		t.Error("negative weight: want error")
+	}
+	a, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weights() != DefaultWeights() {
+		t.Error("weights not stored")
+	}
+}
+
+func TestABMName(t *testing.T) {
+	a, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "abm(wD=0.50,wI=0.50)" {
+		t.Errorf("name = %q", a.Name())
+	}
+	if NewPureGreedy().Name() != "greedy" {
+		t.Errorf("pure greedy name = %q", NewPureGreedy().Name())
+	}
+}
+
+func TestABMSelectsHighestPotential(t *testing.T) {
+	inst := potentialFixture(t)
+	re := inst.FixedRealization(nil, nil)
+	a, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := osn.NewState(re)
+	if err := a.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	u, ok := a.SelectNext(st)
+	if !ok {
+		t.Fatal("no candidate")
+	}
+	// Node 1 has by far the highest potential (hub next to the cautious
+	// user).
+	if u != 1 {
+		t.Errorf("first pick = %d, want 1", u)
+	}
+}
+
+func TestABMRunTrace(t *testing.T) {
+	inst := potentialFixture(t)
+	re := inst.FixedRealization(nil, nil)
+	a, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, re, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	// All four users requested exactly once.
+	seen := map[int]bool{}
+	for _, s := range res.Steps {
+		if seen[s.User] {
+			t.Fatalf("user %d requested twice", s.User)
+		}
+		seen[s.User] = true
+	}
+	// Cumulative accounting is monotone and consistent.
+	prev := 0.0
+	for i, s := range res.Steps {
+		if s.BenefitAfter < prev {
+			t.Errorf("step %d: benefit decreased %v -> %v", i, prev, s.BenefitAfter)
+		}
+		prev = s.BenefitAfter
+	}
+	if res.Benefit != res.Steps[len(res.Steps)-1].BenefitAfter {
+		t.Error("final benefit mismatch")
+	}
+	// With everything accepted and θ(3)=2 but deg(3)=1, the cautious
+	// user can never be befriended; ABM must still befriend 0,1,2.
+	if res.Friends != 3 || res.CautiousFriends != 0 {
+		t.Errorf("friends=%d cautious=%d", res.Friends, res.CautiousFriends)
+	}
+}
+
+func TestABMBefriendsCautiousViaThreshold(t *testing.T) {
+	// Star of reckless users around a cautious hub with θ=2: ABM must
+	// first befriend two reckless neighbors, then the cautious user.
+	g := buildGraph(t, 4, [][2]int{{3, 0}, {3, 1}, {3, 2}, {0, 1}})
+	p := uniformParams(4)
+	p.Kind[3] = osn.Cautious
+	p.AcceptProb[3] = 0
+	p.Theta[3] = 2
+	p.BFriend[3] = 50
+	inst, err := osn.NewInstance(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, inst.FixedRealization(nil, nil), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CautiousFriends != 1 {
+		t.Fatalf("cautious friends = %d; steps %+v", res.CautiousFriends, res.Steps)
+	}
+	// The cautious user must be requested only after the threshold held.
+	for i, s := range res.Steps {
+		if s.User == 3 {
+			if !s.Accepted {
+				t.Errorf("cautious request at step %d rejected — wasted request", i)
+			}
+			if i < 2 {
+				t.Errorf("cautious requested too early (step %d)", i)
+			}
+		}
+	}
+}
+
+func TestABMLazyMatchesFullRescan(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		inst := randomInstance(t, 100+seed*10)
+		re := inst.SampleRealization(rng.NewSeed(seed, 42))
+
+		lazy, err := NewABM(DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := NewABM(DefaultWeights(), WithFullRescan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 60
+		resLazy, err := Run(lazy, re, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resFull, err := Run(full, re, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resLazy.Steps) != len(resFull.Steps) {
+			t.Fatalf("seed %d: step counts differ: %d vs %d", seed, len(resLazy.Steps), len(resFull.Steps))
+		}
+		for i := range resLazy.Steps {
+			if resLazy.Steps[i].User != resFull.Steps[i].User {
+				t.Fatalf("seed %d: step %d differs: lazy=%d full=%d",
+					seed, i, resLazy.Steps[i].User, resFull.Steps[i].User)
+			}
+		}
+		if resLazy.Benefit != resFull.Benefit {
+			t.Fatalf("seed %d: benefits differ: %v vs %v", seed, resLazy.Benefit, resFull.Benefit)
+		}
+	}
+}
+
+func TestABMDeterministic(t *testing.T) {
+	inst := randomInstance(t, 200)
+	re := inst.SampleRealization(rng.NewSeed(7, 7))
+	run := func() *Result {
+		a, err := NewABM(DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(a, re, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	for i := range r1.Steps {
+		if r1.Steps[i].User != r2.Steps[i].User {
+			t.Fatalf("step %d: %d vs %d", i, r1.Steps[i].User, r2.Steps[i].User)
+		}
+	}
+}
+
+func TestABMPolicyReusableAcrossRuns(t *testing.T) {
+	// The same policy value must be re-initializable for a new attack.
+	inst := randomInstance(t, 300)
+	a, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	re1 := inst.SampleRealization(rng.NewSeed(1, 1))
+	re2 := inst.SampleRealization(rng.NewSeed(2, 2))
+	res1, err := Run(a, re1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1b, err := Run(a, re1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Benefit != res1b.Benefit {
+		t.Error("re-running the same realization changed the result")
+	}
+	if _, err := Run(a, re2, 30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBudgetValidation(t *testing.T) {
+	inst := potentialFixture(t)
+	a, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(a, inst.FixedRealization(nil, nil), 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := Run(a, inst.FixedRealization(nil, nil), -3); err == nil {
+		t.Error("k<0: want error")
+	}
+}
+
+func TestRunExhaustsCandidates(t *testing.T) {
+	inst := potentialFixture(t)
+	a, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget exceeds the user count: the run stops after 4 requests.
+	res, err := Run(a, inst.FixedRealization(nil, nil), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 4 {
+		t.Errorf("steps = %d, want 4", len(res.Steps))
+	}
+}

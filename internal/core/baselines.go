@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/pagerank"
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+// StaticRank is a non-adaptive baseline that requests users in a fixed
+// order computed once from the potential graph (ignoring observations),
+// as the MaxDegree and PageRank baselines of §IV-A do.
+type StaticRank struct {
+	name string
+	rank func(st *osn.State) ([]int, error)
+
+	order []int
+	next  int
+}
+
+var _ Policy = (*StaticRank)(nil)
+
+// NewMaxDegree returns the MaxDegree baseline: iteratively pick the
+// highest-degree user in the network. Ties break toward lower ids.
+func NewMaxDegree() *StaticRank {
+	return &StaticRank{
+		name: "maxdegree",
+		rank: func(st *osn.State) ([]int, error) {
+			g := st.Instance().Graph()
+			order := identity(g.N())
+			sort.SliceStable(order, func(i, j int) bool {
+				return g.Degree(order[i]) > g.Degree(order[j])
+			})
+			return order, nil
+		},
+	}
+}
+
+// NewPageRank returns the PageRank baseline: pick users by descending
+// PageRank score on the potential graph.
+func NewPageRank() *StaticRank {
+	return &StaticRank{
+		name: "pagerank",
+		rank: func(st *osn.State) ([]int, error) {
+			scores, err := pagerank.Scores(st.Instance().Graph(), pagerank.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("core: pagerank baseline: %w", err)
+			}
+			order := identity(len(scores))
+			sort.SliceStable(order, func(i, j int) bool {
+				return scores[order[i]] > scores[order[j]]
+			})
+			return order, nil
+		},
+	}
+}
+
+// Name implements Policy.
+func (s *StaticRank) Name() string { return s.name }
+
+// Init implements Policy.
+func (s *StaticRank) Init(st *osn.State) error {
+	order, err := s.rank(st)
+	if err != nil {
+		return err
+	}
+	s.order = order
+	s.next = 0
+	return nil
+}
+
+// SelectNext implements Policy.
+func (s *StaticRank) SelectNext(st *osn.State) (int, bool) {
+	for s.next < len(s.order) {
+		u := s.order[s.next]
+		s.next++
+		if !st.Requested(u) {
+			return u, true
+		}
+	}
+	return 0, false
+}
+
+// Observe implements Policy.
+func (s *StaticRank) Observe(*osn.State, osn.Outcome) {}
+
+// Random is the uniform-random baseline.
+type Random struct {
+	seed  rng.Seed
+	order []int
+	next  int
+}
+
+var _ Policy = (*Random)(nil)
+
+// NewRandom returns the random baseline; the seed fixes the request order
+// for reproducibility.
+func NewRandom(seed rng.Seed) *Random { return &Random{seed: seed} }
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Init implements Policy.
+func (r *Random) Init(st *osn.State) error {
+	r.order = identity(st.Instance().N())
+	rng.Shuffle(r.seed.Split("random-policy").Rand(), r.order)
+	r.next = 0
+	return nil
+}
+
+// SelectNext implements Policy.
+func (r *Random) SelectNext(st *osn.State) (int, bool) {
+	for r.next < len(r.order) {
+		u := r.order[r.next]
+		r.next++
+		if !st.Requested(u) {
+			return u, true
+		}
+	}
+	return 0, false
+}
+
+// Observe implements Policy.
+func (r *Random) Observe(*osn.State, osn.Outcome) {}
+
+func identity(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}

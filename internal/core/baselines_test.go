@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+func TestMaxDegreeOrder(t *testing.T) {
+	// Degrees: 1 has 3, 0 has 2, others 1.
+	g := buildGraph(t, 4, [][2]int{{1, 0}, {1, 2}, {1, 3}, {0, 2}})
+	p := uniformParams(4)
+	inst, err := osn.NewInstance(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(NewMaxDegree(), inst.FixedRealization(nil, nil), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].User != 1 {
+		t.Errorf("first pick = %d, want hub 1", res.Steps[0].User)
+	}
+	if res.Steps[1].User != 0 {
+		t.Errorf("second pick = %d, want 0", res.Steps[1].User)
+	}
+	// Tie between 2 and 3 breaks toward lower id.
+	if res.Steps[2].User != 2 || res.Steps[3].User != 3 {
+		t.Errorf("tie order = %d,%d, want 2,3", res.Steps[2].User, res.Steps[3].User)
+	}
+}
+
+func TestPageRankPicksHubFirst(t *testing.T) {
+	g := buildGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	p := uniformParams(5)
+	inst, err := osn.NewInstance(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(NewPageRank(), inst.FixedRealization(nil, nil), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].User != 0 {
+		t.Errorf("first pick = %d, want star center", res.Steps[0].User)
+	}
+	if got := NewPageRank().Name(); got != "pagerank" {
+		t.Errorf("name = %q", got)
+	}
+	if got := NewMaxDegree().Name(); got != "maxdegree" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestRandomCoversAllUsers(t *testing.T) {
+	inst := potentialFixture(t)
+	r := NewRandom(rng.NewSeed(5, 5))
+	if r.Name() != "random" {
+		t.Errorf("name = %q", r.Name())
+	}
+	res, err := Run(r, inst.FixedRealization(nil, nil), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("steps = %d, want all 4 users", len(res.Steps))
+	}
+	seen := map[int]bool{}
+	for _, s := range res.Steps {
+		seen[s.User] = true
+	}
+	if len(seen) != 4 {
+		t.Error("random policy repeated a user")
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	inst := randomInstance(t, 400)
+	re := inst.SampleRealization(rng.NewSeed(3, 3))
+	r1, err := Run(NewRandom(rng.NewSeed(9, 9)), re, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(NewRandom(rng.NewSeed(9, 9)), re, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Steps {
+		if r1.Steps[i].User != r2.Steps[i].User {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+	r3, err := Run(NewRandom(rng.NewSeed(10, 10)), re, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r1.Steps {
+		if r1.Steps[i].User != r3.Steps[i].User {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical orders (suspicious)")
+	}
+}
+
+func TestABMDominatesBaselinesOnAverage(t *testing.T) {
+	// Integration check of the paper's headline claim (Fig. 2 shape):
+	// averaged over several realizations, ABM collects at least as much
+	// benefit as every baseline.
+	if testing.Short() {
+		t.Skip("integration comparison")
+	}
+	inst := randomInstance(t, 500)
+	const k, runs = 40, 12
+	avg := func(mk func(i int) Policy) float64 {
+		var total float64
+		for i := 0; i < runs; i++ {
+			re := inst.SampleRealization(rng.NewSeed(uint64(i), 77))
+			res, err := Run(mk(i), re, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Benefit
+		}
+		return total / runs
+	}
+	abmAvg := avg(func(int) Policy {
+		a, err := NewABM(DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	})
+	maxdegAvg := avg(func(int) Policy { return NewMaxDegree() })
+	prAvg := avg(func(int) Policy { return NewPageRank() })
+	randAvg := avg(func(i int) Policy { return NewRandom(rng.NewSeed(uint64(i), 3)) })
+
+	if abmAvg < maxdegAvg {
+		t.Errorf("ABM %.1f below MaxDegree %.1f", abmAvg, maxdegAvg)
+	}
+	if abmAvg < prAvg {
+		t.Errorf("ABM %.1f below PageRank %.1f", abmAvg, prAvg)
+	}
+	if abmAvg < randAvg {
+		t.Errorf("ABM %.1f below Random %.1f", abmAvg, randAvg)
+	}
+}

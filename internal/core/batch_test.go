@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+func TestRunBatchedSizeOneMatchesRun(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		inst := randomInstance(t, 700+seed*10)
+		re := inst.SampleRealization(rng.NewSeed(seed, 5))
+		seq, err := NewABM(DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := NewABM(DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 40
+		resSeq, err := Run(seq, re, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resBat, err := RunBatched(bat, re, k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resSeq.Steps) != len(resBat.Steps) {
+			t.Fatalf("seed %d: step counts %d vs %d", seed, len(resSeq.Steps), len(resBat.Steps))
+		}
+		for i := range resSeq.Steps {
+			if resSeq.Steps[i] != resBat.Steps[i] {
+				t.Fatalf("seed %d step %d: %+v vs %+v", seed, i, resSeq.Steps[i], resBat.Steps[i])
+			}
+		}
+	}
+}
+
+func TestRunBatchedDistinctUsers(t *testing.T) {
+	inst := randomInstance(t, 800)
+	re := inst.SampleRealization(rng.NewSeed(8, 8))
+	abm, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatched(abm, re, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 60 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	seen := map[int]bool{}
+	for _, s := range res.Steps {
+		if seen[s.User] {
+			t.Fatalf("user %d requested twice", s.User)
+		}
+		seen[s.User] = true
+	}
+	// Trace stays cumulative.
+	prev := 0.0
+	for i, s := range res.Steps {
+		if s.BenefitAfter+1e-9 < prev {
+			t.Errorf("step %d: benefit decreased %v -> %v", i, prev, s.BenefitAfter)
+		}
+		prev = s.BenefitAfter
+	}
+	if res.Benefit != prev {
+		t.Errorf("final %v vs last step %v", res.Benefit, prev)
+	}
+}
+
+func TestRunBatchedAdaptivityGap(t *testing.T) {
+	// Averaged over realizations, fully-adaptive (batch 1) should not be
+	// worse than one-shot batching (batch = k): intermediate
+	// observations can only help the greedy.
+	inst := randomInstance(t, 900)
+	const k, runs = 40, 10
+	avg := func(batch int) float64 {
+		var total float64
+		for i := 0; i < runs; i++ {
+			re := inst.SampleRealization(rng.NewSeed(uint64(i), 90))
+			abm, err := NewABM(DefaultWeights())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunBatched(abm, re, k, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Benefit
+		}
+		return total / runs
+	}
+	adaptive, oneShot := avg(1), avg(k)
+	if adaptive < oneShot*0.98 { // small tolerance for sampling noise
+		t.Errorf("adaptive %v below one-shot %v", adaptive, oneShot)
+	}
+}
+
+func TestRunBatchedBaselines(t *testing.T) {
+	inst := randomInstance(t, 1000)
+	re := inst.SampleRealization(rng.NewSeed(10, 10))
+	for _, p := range []BatchSelector{NewMaxDegree(), NewPageRank(), NewRandom(rng.NewSeed(1, 1))} {
+		res, err := RunBatched(p, re, 30, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(res.Steps) != 30 {
+			t.Errorf("%s: steps = %d", p.Name(), len(res.Steps))
+		}
+	}
+}
+
+func TestRunBatchedValidation(t *testing.T) {
+	inst := potentialFixture(t)
+	re := inst.FixedRealization(nil, nil)
+	abm, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBatched(abm, re, 0, 5); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := RunBatched(abm, re, 5, 0); err == nil {
+		t.Error("batch=0: want error")
+	}
+}
+
+func TestRunBatchedExhaustsCandidates(t *testing.T) {
+	inst := potentialFixture(t)
+	re := inst.FixedRealization(nil, nil)
+	abm, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatched(abm, re, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 4 { // only 4 users exist
+		t.Errorf("steps = %d", len(res.Steps))
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+// potentialHeap is a binary max-heap on (score, user) with deterministic
+// low-id tie-breaking. Hand-rolled rather than container/heap to avoid
+// boxing every entry through interface{} on the ABM hot path.
+type potentialHeap []heapEntry
+
+// heapEntry is a scored candidate; stale entries are detected by
+// comparing version against the policy's per-user version counter.
+type heapEntry struct {
+	score   float64
+	user    int32
+	version int32
+}
+
+// less orders entries by descending score, then ascending user id.
+func (h potentialHeap) less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].user < h[j].user
+}
+
+// Len reports the number of entries.
+func (h potentialHeap) Len() int { return len(h) }
+
+// push inserts an entry.
+func (h *potentialHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	h.siftUp(len(*h) - 1)
+}
+
+// pop removes and returns the maximum entry. It must not be called on an
+// empty heap.
+func (h *potentialHeap) pop() heapEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// init establishes the heap invariant over arbitrary contents.
+func (h potentialHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h potentialHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h potentialHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}

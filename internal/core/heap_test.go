@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapPushPopOrdered(t *testing.T) {
+	var h potentialHeap
+	scores := []float64{3, 1, 4, 1.5, 9, 2.6, 5}
+	for i, s := range scores {
+		h.push(heapEntry{score: s, user: int32(i)})
+	}
+	want := append([]float64(nil), scores...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+	for i, w := range want {
+		e := h.pop()
+		if e.score != w {
+			t.Fatalf("pop %d: score %v, want %v", i, e.score, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Errorf("len = %d after draining", h.Len())
+	}
+}
+
+func TestHeapTieBreaksByUser(t *testing.T) {
+	var h potentialHeap
+	for _, u := range []int32{5, 2, 9, 1} {
+		h.push(heapEntry{score: 7, user: u})
+	}
+	for _, want := range []int32{1, 2, 5, 9} {
+		if got := h.pop().user; got != want {
+			t.Fatalf("tie-break order: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestHeapInitFromBulk(t *testing.T) {
+	h := make(potentialHeap, 0, 100)
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 100; i++ {
+		h = append(h, heapEntry{score: r.Float64(), user: int32(i)})
+	}
+	h.init()
+	prev := h.pop()
+	for h.Len() > 0 {
+		cur := h.pop()
+		if cur.score > prev.score {
+			t.Fatalf("heap order violated: %v after %v", cur.score, prev.score)
+		}
+		prev = cur
+	}
+}
+
+func TestHeapPropertyMatchesSort(t *testing.T) {
+	f := func(raw []float64) bool {
+		var h potentialHeap
+		for i, s := range raw {
+			if s != s { // NaN breaks any comparator; skip
+				return true
+			}
+			h.push(heapEntry{score: s, user: int32(i)})
+		}
+		out := make([]float64, 0, len(raw))
+		for h.Len() > 0 {
+			out = append(out, h.pop().score)
+		}
+		want := append([]float64(nil), raw...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package core implements the paper's contribution: the Adaptive Benefit
+// Maximization (ABM) greedy of Algorithm 1 with its two-part potential
+// function, the baseline policies compared against in §IV (MaxDegree,
+// PageRank, Random), and the attack runner that executes a policy for a
+// budget of k friend requests while recording the per-request trace used
+// by Figures 2–5.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/accu-sim/accu/internal/osn"
+)
+
+// Policy is an adaptive attack strategy π: given the current partial
+// realization it picks the next friend-request target.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Init is called once per attack with the fresh state. Policies keep
+	// per-attack caches here; a Policy instance is used for one attack
+	// at a time.
+	Init(st *osn.State) error
+	// SelectNext returns the next user to send a request to, or ok=false
+	// when no candidate remains. The returned user must not have been
+	// requested before.
+	SelectNext(st *osn.State) (user int, ok bool)
+	// Observe notifies the policy of a request outcome so it can update
+	// its internal caches.
+	Observe(st *osn.State, out osn.Outcome)
+}
+
+// ErrNoBudget is returned when Run is called with a non-positive budget.
+var ErrNoBudget = errors.New("core: request budget must be positive")
+
+// Step records one friend request of an executed attack.
+type Step struct {
+	// User is the request target.
+	User int
+	// Accepted reports the request outcome.
+	Accepted bool
+	// Cautious reports whether the target is a cautious user.
+	Cautious bool
+	// Gain is the realized marginal benefit of this request.
+	Gain float64
+	// BenefitAfter is the cumulative benefit after this request.
+	BenefitAfter float64
+	// CautiousFriendsAfter is the number of cautious friends after this
+	// request.
+	CautiousFriendsAfter int
+}
+
+// Result is the trace of one executed attack.
+type Result struct {
+	// Policy is the executing policy's name.
+	Policy string
+	// Steps holds one record per request sent, in order.
+	Steps []Step
+	// Benefit is the final collected benefit.
+	Benefit float64
+	// Friends and CautiousFriends are the final friend counts.
+	Friends         int
+	CautiousFriends int
+	// Journal records the request sequence for replay/audit
+	// (osn.Journal.Replay against the same realization reproduces the
+	// attack exactly).
+	Journal *osn.Journal
+}
+
+// Run executes the policy against the realization for up to k requests
+// and returns the trace. The attack stops early if the policy runs out of
+// candidates.
+func Run(p Policy, re *osn.Realization, k int) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrNoBudget, k)
+	}
+	st := osn.NewState(re)
+	if err := p.Init(st); err != nil {
+		return nil, fmt.Errorf("core: init %s: %w", p.Name(), err)
+	}
+	res := &Result{Policy: p.Name(), Steps: make([]Step, 0, k), Journal: &osn.Journal{}}
+	for i := 0; i < k; i++ {
+		u, ok := p.SelectNext(st)
+		if !ok {
+			break
+		}
+		out, err := st.Request(u)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s selected invalid user %d: %w", p.Name(), u, err)
+		}
+		res.Journal.Record(u)
+		p.Observe(st, out)
+		res.Steps = append(res.Steps, Step{
+			User:                 u,
+			Accepted:             out.Accepted,
+			Cautious:             out.Cautious,
+			Gain:                 out.Gain,
+			BenefitAfter:         st.Benefit(),
+			CautiousFriendsAfter: st.CautiousFriends(),
+		})
+	}
+	res.Benefit = st.Benefit()
+	res.Friends = st.Friends()
+	res.CautiousFriends = st.CautiousFriends()
+	return res, nil
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+func TestRunJournalReplays(t *testing.T) {
+	inst := randomInstance(t, 1500)
+	re := inst.SampleRealization(rng.NewSeed(15, 15))
+	abm, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(abm, re, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Journal == nil || len(res.Journal.Users) != len(res.Steps) {
+		t.Fatalf("journal missing or short: %+v", res.Journal)
+	}
+	st, err := res.Journal.Replay(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Benefit() != res.Benefit {
+		t.Errorf("replay benefit %v vs %v", st.Benefit(), res.Benefit)
+	}
+}
+
+func TestRunBatchedJournalReplays(t *testing.T) {
+	inst := randomInstance(t, 1600)
+	re := inst.SampleRealization(rng.NewSeed(16, 16))
+	abm, err := NewABM(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatched(abm, re, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := res.Journal.Replay(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Benefit() != res.Benefit {
+		t.Errorf("batched replay benefit %v vs %v", st.Benefit(), res.Benefit)
+	}
+	// Batch structure preserved: 30 requests in batches of 7,7,7,7,2.
+	if len(res.Journal.BatchSizes) != 5 || res.Journal.BatchSizes[4] != 2 {
+		t.Errorf("batch sizes = %v", res.Journal.BatchSizes)
+	}
+}

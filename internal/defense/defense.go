@@ -1,0 +1,175 @@
+// Package defense turns the attack machinery around: the paper's stated
+// motivation is that understanding befriending strategies "can in turn
+// reveal the key users to protect". This package measures per-user
+// vulnerability under repeated simulated attacks and evaluates a
+// hardening countermeasure — converting the most-compromised users to
+// cautious (threshold-gated) acceptance — against the same attacker.
+package defense
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+// UserStats accumulates one user's fate across simulated attacks.
+type UserStats struct {
+	// User is the node id.
+	User int
+	// Targeted counts runs in which the attacker sent this user a
+	// request; Befriended counts accepted requests; Exposed counts runs
+	// that ended with the user a friend-of-friend (profile partially
+	// readable).
+	Targeted, Befriended, Exposed int
+}
+
+// Analysis is the result of a vulnerability measurement.
+type Analysis struct {
+	// Runs is the number of simulated attacks.
+	Runs int
+	// K is the per-attack request budget.
+	K int
+	// PerUser holds stats for every user, indexed by node id.
+	PerUser []UserStats
+	// MeanBenefit is the attacker's average final benefit.
+	MeanBenefit float64
+}
+
+// PolicyFactory builds a fresh attack policy per run.
+type PolicyFactory func(seed rng.Seed) (core.Policy, error)
+
+// ABMAttacker is the default attacker for vulnerability analyses: ABM
+// with the paper's balanced weights.
+func ABMAttacker() PolicyFactory {
+	return func(rng.Seed) (core.Policy, error) {
+		return core.NewABM(core.DefaultWeights())
+	}
+}
+
+// Analyze runs `runs` independent attacks of budget k against fresh
+// realizations of the instance and aggregates per-user vulnerability.
+func Analyze(ctx context.Context, inst *osn.Instance, attacker PolicyFactory, runs, k int, seed rng.Seed) (*Analysis, error) {
+	if runs <= 0 || k <= 0 {
+		return nil, fmt.Errorf("defense: runs=%d k=%d must be positive", runs, k)
+	}
+	if attacker == nil {
+		return nil, errors.New("defense: nil attacker factory")
+	}
+	a := &Analysis{
+		Runs:    runs,
+		K:       k,
+		PerUser: make([]UserStats, inst.N()),
+	}
+	for u := range a.PerUser {
+		a.PerUser[u].User = u
+	}
+	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		runSeed := seed.SplitN("defense-run", i)
+		re := inst.SampleRealization(runSeed.Split("realization"))
+		pol, err := attacker(runSeed.Split("policy"))
+		if err != nil {
+			return nil, fmt.Errorf("defense: build attacker: %w", err)
+		}
+		st := osn.NewState(re)
+		if err := pol.Init(st); err != nil {
+			return nil, fmt.Errorf("defense: init attacker: %w", err)
+		}
+		for j := 0; j < k; j++ {
+			u, ok := pol.SelectNext(st)
+			if !ok {
+				break
+			}
+			out, err := st.Request(u)
+			if err != nil {
+				return nil, fmt.Errorf("defense: attacker selected invalid user: %w", err)
+			}
+			pol.Observe(st, out)
+			a.PerUser[u].Targeted++
+			if out.Accepted {
+				a.PerUser[u].Befriended++
+			}
+		}
+		for u := 0; u < inst.N(); u++ {
+			if st.IsFOF(u) {
+				a.PerUser[u].Exposed++
+			}
+		}
+		a.MeanBenefit += st.Benefit() / float64(runs)
+	}
+	return a, nil
+}
+
+// CompromiseRate returns the fraction of runs in which user u ended up a
+// friend of the attacker.
+func (a *Analysis) CompromiseRate(u int) float64 {
+	return float64(a.PerUser[u].Befriended) / float64(a.Runs)
+}
+
+// ExposureRate returns the fraction of runs in which user u ended up a
+// friend-of-friend (indirectly exposed).
+func (a *Analysis) ExposureRate(u int) float64 {
+	return float64(a.PerUser[u].Exposed) / float64(a.Runs)
+}
+
+// TopCompromised returns the n users most frequently befriended by the
+// attacker, descending (ties toward lower id) — the priority list for
+// protection.
+func (a *Analysis) TopCompromised(n int) []UserStats {
+	out := append([]UserStats(nil), a.PerUser...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Befriended > out[j].Befriended
+	})
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}
+
+// Harden returns a copy of the instance in which the given users are
+// converted to cautious acceptance with θ = max(1, round(fraction·deg)).
+// Already-cautious users are left unchanged. Note that hardening can
+// create edges between cautious users; the simulation handles this even
+// though the paper's analysis assumes V_C is independent.
+func Harden(inst *osn.Instance, users []int, fraction float64) (*osn.Instance, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("defense: fraction %v not in (0, 1]", fraction)
+	}
+	p := inst.Params()
+	g := inst.Graph()
+	for _, u := range users {
+		if u < 0 || u >= inst.N() {
+			return nil, fmt.Errorf("%w: %d", osn.ErrBadUser, u)
+		}
+		if p.Kind[u] == osn.Cautious {
+			continue
+		}
+		p.Kind[u] = osn.Cautious
+		p.AcceptProb[u] = 0
+		th := int(fraction*float64(g.Degree(u)) + 0.5)
+		if th < 1 {
+			th = 1
+		}
+		p.Theta[u] = th
+		p.QLow[u] = 0
+		p.QHigh[u] = 1
+	}
+	return osn.NewInstance(g, p)
+}
+
+// Evaluate measures the attacker's mean benefit against the instance —
+// the before/after metric for a hardening intervention.
+func Evaluate(ctx context.Context, inst *osn.Instance, attacker PolicyFactory, runs, k int, seed rng.Seed) (float64, error) {
+	a, err := Analyze(ctx, inst, attacker, runs, k, seed)
+	if err != nil {
+		return 0, err
+	}
+	return a.MeanBenefit, nil
+}

@@ -1,0 +1,215 @@
+package defense
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/accu-sim/accu/internal/graph"
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+// testInstance builds a 300-node random instance with cautious users.
+func testInstance(t *testing.T) *osn.Instance {
+	t.Helper()
+	b := graph.NewBuilder(300)
+	r := rng.NewSeed(31, 32).Rand()
+	for b.M() < 3000 {
+		if _, err := b.AddEdge(r.IntN(300), r.IntN(300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := osn.DefaultSetup()
+	s.NumCautious = 8
+	inst, err := s.Build(b.Freeze(), rng.NewSeed(33, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	inst := testInstance(t)
+	const runs, k = 6, 25
+	a, err := Analyze(context.Background(), inst, ABMAttacker(), runs, k, rng.NewSeed(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != runs || a.K != k || len(a.PerUser) != inst.N() {
+		t.Fatalf("analysis shape: %+v", a)
+	}
+	var targeted, befriended, exposed int
+	for u, st := range a.PerUser {
+		if st.User != u {
+			t.Fatalf("user index mismatch at %d", u)
+		}
+		if st.Befriended > st.Targeted {
+			t.Fatalf("user %d befriended %d > targeted %d", u, st.Befriended, st.Targeted)
+		}
+		if st.Targeted > runs {
+			t.Fatalf("user %d targeted %d > runs", u, st.Targeted)
+		}
+		targeted += st.Targeted
+		befriended += st.Befriended
+		exposed += st.Exposed
+	}
+	if targeted != runs*k {
+		t.Errorf("total targeted = %d, want %d", targeted, runs*k)
+	}
+	if befriended == 0 || exposed == 0 {
+		t.Errorf("no compromises recorded: befriended=%d exposed=%d", befriended, exposed)
+	}
+	if a.MeanBenefit <= 0 {
+		t.Errorf("mean benefit = %v", a.MeanBenefit)
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	inst := testInstance(t)
+	a1, err := Analyze(context.Background(), inst, ABMAttacker(), 3, 15, rng.NewSeed(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(context.Background(), inst, ABMAttacker(), 3, 15, rng.NewSeed(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.MeanBenefit != a2.MeanBenefit {
+		t.Errorf("benefit not deterministic: %v vs %v", a1.MeanBenefit, a2.MeanBenefit)
+	}
+	for u := range a1.PerUser {
+		if a1.PerUser[u] != a2.PerUser[u] {
+			t.Fatalf("user %d stats differ", u)
+		}
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	inst := testInstance(t)
+	if _, err := Analyze(context.Background(), inst, ABMAttacker(), 0, 5, rng.NewSeed(1, 1)); err == nil {
+		t.Error("runs=0: want error")
+	}
+	if _, err := Analyze(context.Background(), inst, ABMAttacker(), 5, 0, rng.NewSeed(1, 1)); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := Analyze(context.Background(), inst, nil, 5, 5, rng.NewSeed(1, 1)); err == nil {
+		t.Error("nil attacker: want error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Analyze(ctx, inst, ABMAttacker(), 5, 5, rng.NewSeed(1, 1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled: %v", err)
+	}
+}
+
+func TestRatesAndTopCompromised(t *testing.T) {
+	inst := testInstance(t)
+	a, err := Analyze(context.Background(), inst, ABMAttacker(), 5, 30, rng.NewSeed(7, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := a.TopCompromised(10)
+	if len(top) != 10 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Befriended > top[i-1].Befriended {
+			t.Fatal("TopCompromised not sorted")
+		}
+	}
+	u := top[0].User
+	if r := a.CompromiseRate(u); r <= 0 || r > 1 {
+		t.Errorf("compromise rate = %v", r)
+	}
+	if r := a.ExposureRate(u); r < 0 || r > 1 {
+		t.Errorf("exposure rate = %v", r)
+	}
+	// Asking for more than N clips.
+	if got := a.TopCompromised(inst.N() + 50); len(got) != inst.N() {
+		t.Errorf("clipped top = %d", len(got))
+	}
+}
+
+func TestHarden(t *testing.T) {
+	inst := testInstance(t)
+	targets := []int{}
+	for u := 0; u < inst.N() && len(targets) < 5; u++ {
+		if inst.Kind(u) == osn.Reckless && inst.Graph().Degree(u) > 0 {
+			targets = append(targets, u)
+		}
+	}
+	hardened, err := Harden(inst, targets, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range targets {
+		if hardened.Kind(u) != osn.Cautious {
+			t.Errorf("user %d not hardened", u)
+		}
+		if hardened.Theta(u) < 1 {
+			t.Errorf("user %d theta %d", u, hardened.Theta(u))
+		}
+	}
+	// Original untouched.
+	for _, u := range targets {
+		if inst.Kind(u) != osn.Reckless {
+			t.Error("Harden mutated the original instance")
+		}
+	}
+	// Cautious count grew.
+	if hardened.NumCautious() != inst.NumCautious()+len(targets) {
+		t.Errorf("cautious %d, want %d", hardened.NumCautious(), inst.NumCautious()+len(targets))
+	}
+}
+
+func TestHardenIdempotentOnCautious(t *testing.T) {
+	inst := testInstance(t)
+	c := inst.Cautious()[0]
+	hardened, err := Harden(inst, []int{c}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hardened.Theta(c) != inst.Theta(c) {
+		t.Error("hardening an already-cautious user changed its threshold")
+	}
+}
+
+func TestHardenValidation(t *testing.T) {
+	inst := testInstance(t)
+	if _, err := Harden(inst, []int{0}, 0); err == nil {
+		t.Error("fraction=0: want error")
+	}
+	if _, err := Harden(inst, []int{-1}, 0.3); err == nil {
+		t.Error("bad user: want error")
+	}
+}
+
+func TestHardeningReducesAttack(t *testing.T) {
+	// The headline defense claim: hardening the most-compromised users
+	// lowers the attacker's benefit.
+	inst := testInstance(t)
+	const runs, k = 8, 30
+	seed := rng.NewSeed(9, 10)
+	before, err := Analyze(context.Background(), inst, ABMAttacker(), runs, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []int
+	for _, st := range before.TopCompromised(20) {
+		if inst.Kind(st.User) == osn.Reckless {
+			targets = append(targets, st.User)
+		}
+	}
+	hardened, err := Harden(inst, targets, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Evaluate(context.Background(), hardened, ABMAttacker(), runs, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before.MeanBenefit {
+		t.Errorf("hardening did not reduce benefit: %v -> %v", before.MeanBenefit, after)
+	}
+}

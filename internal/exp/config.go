@@ -1,0 +1,115 @@
+// Package exp defines one reproducible experiment per table and figure of
+// the paper's evaluation (§IV): Table I dataset statistics, Fig. 2 benefit
+// curves, Fig. 3 marginal-gain breakdown, Fig. 4 weight sweep, Fig. 5
+// request-timing fractions, Fig. 6/7 sensitivity heat maps, and a
+// Theorem 1 verification on enumerable instances. Each experiment renders
+// the same rows/series the paper reports.
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/gen"
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+// Config scales the experiment protocol. The paper's full protocol is
+// Scale=1, Networks=100, Runs=30, K=500, NumCautious=100; the quick
+// default shrinks everything proportionally so the suite runs on a
+// laptop while preserving the qualitative shapes.
+type Config struct {
+	// Scale shrinks the preset networks (node count factor in (0, 1]).
+	Scale float64
+	// Networks and Runs are the Monte-Carlo grid dimensions.
+	Networks, Runs int
+	// K is the friend-request budget. 0 derives K = max(60, 500·Scale).
+	K int
+	// NumCautious is the cautious users per network. 0 derives
+	// max(10, 100·Scale).
+	NumCautious int
+	// Datasets are the preset names to run on (nil = paper's four).
+	Datasets []string
+	// Weights are the ABM potential weights (zero value = paper's 0.5/0.5).
+	Weights core.Weights
+	// Seed roots all randomness.
+	Seed rng.Seed
+	// Workers bounds the simulation worker pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// QuickConfig returns a configuration sized for interactive use
+// (seconds-to-minutes per experiment on one core).
+func QuickConfig() Config {
+	return Config{
+		Scale:    0.03,
+		Networks: 2,
+		Runs:     3,
+		Seed:     rng.NewSeed(2019, 1243),
+	}
+}
+
+// PaperConfig returns the full §IV protocol (hours of compute).
+func PaperConfig() Config {
+	return Config{
+		Scale:    1,
+		Networks: 100,
+		Runs:     30,
+		K:        500,
+		Seed:     rng.NewSeed(2019, 1243),
+	}
+}
+
+// normalize fills derived defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return c, fmt.Errorf("exp: scale %v not in (0, 1]", c.Scale)
+	}
+	if c.Networks <= 0 || c.Runs <= 0 {
+		return c, fmt.Errorf("exp: networks=%d runs=%d must be positive", c.Networks, c.Runs)
+	}
+	if c.K == 0 {
+		c.K = int(math.Max(60, 500*c.Scale))
+	}
+	if c.K < 0 {
+		return c, fmt.Errorf("exp: K = %d", c.K)
+	}
+	if c.NumCautious == 0 {
+		c.NumCautious = int(math.Max(10, 100*c.Scale))
+	}
+	if c.NumCautious < 0 {
+		return c, fmt.Errorf("exp: NumCautious = %d", c.NumCautious)
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = []string{"facebook", "slashdot", "twitter", "dblp"}
+	}
+	if c.Weights == (core.Weights{}) {
+		c.Weights = core.DefaultWeights()
+	}
+	if err := c.Weights.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// setup builds the §IV-A protocol setup for this config.
+func (c Config) setup() osn.Setup {
+	s := osn.DefaultSetup()
+	s.NumCautious = c.NumCautious
+	return s
+}
+
+// generator resolves a preset at the configured scale.
+func (c Config) generator(dataset string) (gen.Generator, gen.Preset, error) {
+	p, err := gen.PresetByName(dataset)
+	if err != nil {
+		return nil, gen.Preset{}, err
+	}
+	g, err := p.Generator(c.Scale)
+	if err != nil {
+		return nil, gen.Preset{}, err
+	}
+	return g, p, nil
+}

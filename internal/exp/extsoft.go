@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/accu-sim/accu/internal/sim"
+	"github.com/accu-sim/accu/internal/stats"
+	"github.com/accu-sim/accu/internal/theory"
+)
+
+// softGrid is the (qLow, qHigh) sweep of the generalized §III-B
+// acceptance model. (0, 1) is the paper's deterministic model.
+var softGrid = []struct{ qLow, qHigh float64 }{
+	{0, 1}, {0.05, 1}, {0.1, 1}, {0.2, 1}, {0.2, 0.8}, {0.5, 0.9},
+}
+
+// ExtSoft is an extension experiment beyond the paper's figures: it
+// quantifies how the generalized cautious acceptance model of §III-B
+// (accept with qLow below threshold, qHigh at/above) changes the attack,
+// and reports the curvature parameter δ = qHigh/qLow with its
+// 1 − (1 − 1/(δk))^k guarantee — the bound the paper shows degenerates to
+// 0 as qLow → 0, motivating the adaptive submodular ratio.
+func ExtSoft(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	dataset := fig45Dataset(cfg)
+	g, _, err := cfg.generator(dataset)
+	if err != nil {
+		return nil, err
+	}
+	abm, err := sim.ABMFactory(cfg.Weights)
+	if err != nil {
+		return nil, err
+	}
+
+	header := []string{"qLow", "qHigh", "delta", "curvature-bound", "benefit", "cautious-friends"}
+	var rows [][]string
+	for _, cell := range softGrid {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		setup := cfg.setup()
+		setup.QLowCautious = cell.qLow
+		setup.QHighCautious = cell.qHigh
+
+		var benefit, cautious stats.Welford
+		protocol := sim.Protocol{
+			Gen:      g,
+			Setup:    setup,
+			Networks: cfg.Networks,
+			Runs:     cfg.Runs,
+			K:        cfg.K,
+			Seed:     cfg.Seed.Split(fmt.Sprintf("extsoft-%v-%v", cell.qLow, cell.qHigh)),
+			Workers:  cfg.Workers,
+		}
+		err := sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
+			benefit.Add(rec.Result.Benefit)
+			cautious.Add(float64(rec.Result.CautiousFriends))
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: extsoft (%v, %v): %w", cell.qLow, cell.qHigh, err)
+		}
+
+		delta := math.Inf(1)
+		if cell.qLow > 0 {
+			delta = cell.qHigh / cell.qLow
+		}
+		deltaStr := "inf"
+		if !math.IsInf(delta, 1) {
+			deltaStr = fmt.Sprintf("%.1f", delta)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", cell.qLow),
+			fmt.Sprintf("%.2f", cell.qHigh),
+			deltaStr,
+			fmt.Sprintf("%.4f", theory.CurvatureBound(delta, cfg.K)),
+			fmt.Sprintf("%.1f ±%.1f", benefit.Mean(), benefit.CI95()),
+			fmt.Sprintf("%.2f ±%.2f", cautious.Mean(), cautious.CI95()),
+		})
+	}
+
+	notes := []string{
+		"qLow=0 (the paper's deterministic model) has unbounded δ: the curvature bound collapses to 0 and only the adaptive submodular ratio gives a guarantee",
+		fmt.Sprintf("dataset %s, k=%d: positive qLow lets the attacker crack cautious users without courting their friends first", dataset, cfg.K),
+	}
+	tables := []stats.Table{{Header: header, Rows: rows}}
+	return newReport("ext-soft", fmt.Sprintf("Extension: generalized cautious acceptance (qLow/qHigh sweep, %s)", dataset), tables, notes), nil
+}

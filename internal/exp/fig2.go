@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/sim"
+	"github.com/accu-sim/accu/internal/stats"
+)
+
+// checkpoints returns the request counts at which benefit is sampled —
+// ten evenly spaced points up to k, matching the x-axis of Fig. 2.
+func checkpoints(k int) []int {
+	const points = 10
+	if k <= points {
+		out := make([]int, k)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	out := make([]int, points)
+	for i := range out {
+		out[i] = (i + 1) * k / points
+	}
+	return out
+}
+
+// benefitAt reads the cumulative benefit after the first c requests of a
+// trace (traces shorter than c — candidate exhaustion — hold their final
+// value).
+func benefitAt(res *core.Result, c int) float64 {
+	if len(res.Steps) == 0 {
+		return 0
+	}
+	if c > len(res.Steps) {
+		c = len(res.Steps)
+	}
+	return res.Steps[c-1].BenefitAfter
+}
+
+// Fig2 reproduces Fig. 2: total benefit vs number of requests k for ABM,
+// MaxDegree, PageRank and Random on every dataset.
+func Fig2(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	factories, err := sim.DefaultFactories(cfg.Weights)
+	if err != nil {
+		return nil, err
+	}
+	cps := checkpoints(cfg.K)
+
+	var tables []stats.Table
+	var notes []string
+	for _, name := range cfg.Datasets {
+		g, _, err := cfg.generator(name)
+		if err != nil {
+			return nil, err
+		}
+		protocol := sim.Protocol{
+			Gen:      g,
+			Setup:    cfg.setup(),
+			Networks: cfg.Networks,
+			Runs:     cfg.Runs,
+			K:        cfg.K,
+			Seed:     cfg.Seed.Split("fig2-" + name),
+			Workers:  cfg.Workers,
+		}
+		sum := sim.NewSummary(cps)
+		if err := sim.Run(ctx, protocol, factories, sum.Collect); err != nil {
+			return nil, fmt.Errorf("exp: fig2 %s: %w", name, err)
+		}
+
+		ordered := make([]*stats.Series, 0, len(factories))
+		for _, f := range factories {
+			if curve := sum.Curve(f.Name); curve != nil {
+				ordered = append(ordered, curve)
+			}
+		}
+		tables = append(tables, stats.SeriesTable(name, "k", ordered))
+		notes = append(notes, shapeNoteFig2(name, ordered)...)
+	}
+	return newReport("fig2", "Total benefit vs number of friend requests", tables, notes), nil
+}
+
+// shapeNoteFig2 summarizes who wins at the final checkpoint.
+func shapeNoteFig2(dataset string, series []*stats.Series) []string {
+	if len(series) == 0 || series[0].Len() == 0 {
+		return nil
+	}
+	last := series[0].Len() - 1
+	best, bestVal := "", -1.0
+	var abmVal, randVal float64
+	for _, s := range series {
+		v := s.At(last).Mean()
+		if v > bestVal {
+			best, bestVal = s.Label, v
+		}
+		switch {
+		case strings.HasPrefix(s.Label, "abm"):
+			abmVal = v
+		case s.Label == "random":
+			randVal = v
+		}
+	}
+	notes := []string{fmt.Sprintf("%s: best final policy = %s (%.1f)", dataset, best, bestVal)}
+	if abmVal > 0 && randVal > 0 {
+		notes = append(notes, fmt.Sprintf("%s: ABM/Random final ratio = %.2f", dataset, abmVal/randVal))
+	}
+	return notes
+}

@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/sim"
+	"github.com/accu-sim/accu/internal/stats"
+)
+
+// fig45Weights is the w_I grid of Fig. 4/5 (w_D = 1 − w_I).
+var fig45Weights = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+
+// fig45Dataset picks the sweep dataset: the paper uses Twitter; fall back
+// to the first configured dataset if Twitter is not in the roster.
+func fig45Dataset(cfg Config) string {
+	for _, d := range cfg.Datasets {
+		if d == "twitter" {
+			return d
+		}
+	}
+	return cfg.Datasets[0]
+}
+
+// Fig4 reproduces Fig. 4: total benefit and number of cautious friends
+// after k requests on Twitter, varying w_I with w_D = 1 − w_I.
+func Fig4(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	dataset := fig45Dataset(cfg)
+	g, _, err := cfg.generator(dataset)
+	if err != nil {
+		return nil, err
+	}
+
+	xs := fig45Weights
+	benefit := stats.NewSeries("benefit", xs)
+	cautious := stats.NewSeries("cautious-friends", xs)
+
+	factories := make([]sim.PolicyFactory, 0, len(xs))
+	for _, wi := range xs {
+		w := core.Weights{WD: 1 - wi, WI: wi}
+		f, err := sim.ABMFactory(w)
+		if err != nil {
+			return nil, err
+		}
+		f.Name = fmt.Sprintf("wI=%.1f", wi)
+		factories = append(factories, f)
+	}
+	index := make(map[string]int, len(factories))
+	for i, f := range factories {
+		index[f.Name] = i
+	}
+
+	protocol := sim.Protocol{
+		Gen:      g,
+		Setup:    cfg.setup(),
+		Networks: cfg.Networks,
+		Runs:     cfg.Runs,
+		K:        cfg.K,
+		Seed:     cfg.Seed.Split("fig4-" + dataset),
+		Workers:  cfg.Workers,
+	}
+	err = sim.Run(ctx, protocol, factories, func(rec sim.Record) {
+		i := index[rec.Policy]
+		benefit.Add(i, rec.Result.Benefit)
+		cautious.Add(i, float64(rec.Result.CautiousFriends))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig4 %s: %w", dataset, err)
+	}
+
+	var notes []string
+	bm := benefit.Means()
+	best := 0
+	for i := range bm {
+		if bm[i] > bm[best] {
+			best = i
+		}
+	}
+	notes = append(notes, fmt.Sprintf("%s: benefit peaks at wI=%.1f", dataset, xs[best]))
+	cm := cautious.Means()
+	monotone := true
+	for i := 1; i < len(cm); i++ {
+		if cm[i] < cm[i-1]-1e-9 {
+			monotone = false
+			break
+		}
+	}
+	notes = append(notes, fmt.Sprintf("%s: cautious friends monotone in wI: %v", dataset, monotone))
+
+	tables := []stats.Table{stats.SeriesTable(dataset, "wI", []*stats.Series{benefit, cautious})}
+	return newReport("fig4", fmt.Sprintf("Benefit and cautious friends vs w_I (%s)", dataset), tables, notes), nil
+}
+
+// Fig5 reproduces Fig. 5: the fraction of runs in which request index X
+// targets a cautious user, for several w_I settings (bucketed in ten
+// request-index groups).
+func Fig5(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	dataset := fig45Dataset(cfg)
+	g, _, err := cfg.generator(dataset)
+	if err != nil {
+		return nil, err
+	}
+
+	cps := checkpoints(cfg.K)
+	xs := make([]float64, len(cps))
+	for i, c := range cps {
+		xs[i] = float64(c)
+	}
+
+	sweep := []float64{0.1, 0.3, 0.5}
+	factories := make([]sim.PolicyFactory, 0, len(sweep))
+	series := make(map[string]*stats.Series, len(sweep))
+	ordered := make([]*stats.Series, 0, len(sweep))
+	for _, wi := range sweep {
+		f, err := sim.ABMFactory(core.Weights{WD: 1 - wi, WI: wi})
+		if err != nil {
+			return nil, err
+		}
+		f.Name = fmt.Sprintf("wI=%.1f", wi)
+		factories = append(factories, f)
+		s := stats.NewSeries(f.Name, xs)
+		series[f.Name] = s
+		ordered = append(ordered, s)
+	}
+
+	protocol := sim.Protocol{
+		Gen:      g,
+		Setup:    cfg.setup(),
+		Networks: cfg.Networks,
+		Runs:     cfg.Runs,
+		K:        cfg.K,
+		Seed:     cfg.Seed.Split("fig5-" + dataset),
+		Workers:  cfg.Workers,
+	}
+	err = sim.Run(ctx, protocol, factories, func(rec sim.Record) {
+		s := series[rec.Policy]
+		lo := 0
+		for i, hi := range cps {
+			n, c := 0, 0
+			for idx := lo; idx < hi && idx < len(rec.Result.Steps); idx++ {
+				n++
+				if rec.Result.Steps[idx].Cautious {
+					c++
+				}
+			}
+			if n > 0 {
+				s.Add(i, float64(c)/float64(n))
+			}
+			lo = hi
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig5 %s: %w", dataset, err)
+	}
+
+	// Shape note: higher w_I should front-load cautious requests — the
+	// weighted mean request index of cautious fractions should not grow
+	// with w_I.
+	var notes []string
+	center := func(s *stats.Series) float64 {
+		var num, den float64
+		for i := 0; i < s.Len(); i++ {
+			m := s.At(i).Mean()
+			num += m * s.X(i)
+			den += m
+		}
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	if len(ordered) >= 2 {
+		lo, hi := center(ordered[0]), center(ordered[len(ordered)-1])
+		if lo > 0 && hi > 0 {
+			notes = append(notes, fmt.Sprintf("%s: cautious-request center shifts %.0f → %.0f as wI grows (earlier = smaller)", dataset, lo, hi))
+		}
+	}
+
+	tables := []stats.Table{stats.SeriesTable(dataset+" fraction of requests sent to cautious users", "k", ordered)}
+	return newReport("fig5", fmt.Sprintf("Fraction of requests sent to cautious users (%s)", dataset), tables, notes), nil
+}

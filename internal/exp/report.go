@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/accu-sim/accu/internal/stats"
+)
+
+// Report is the output of one experiment: structured tables (for JSON
+// export and plotting), their plain-text rendering, and free-form shape
+// notes for EXPERIMENTS.md.
+type Report struct {
+	// ID is the experiment key ("fig2", "table1", ...).
+	ID string `json:"id"`
+	// Title describes the paper artifact being reproduced.
+	Title string `json:"title"`
+	// Tables holds the structured results, one per section.
+	Tables []stats.Table `json:"tables"`
+	// Rendered is the plain-text table/series output.
+	Rendered string `json:"-"`
+	// Notes lists observed qualitative shapes (who wins, crossovers).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// newReport assembles a report, deriving the text rendering from the
+// structured tables.
+func newReport(id, title string, tables []stats.Table, notes []string) *Report {
+	var sb strings.Builder
+	for i, t := range tables {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(t.Render())
+	}
+	return &Report{ID: id, Title: title, Tables: tables, Rendered: sb.String(), Notes: notes}
+}
+
+// String renders the report for terminal output.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n\n", r.ID, r.Title)
+	sb.WriteString(r.Rendered)
+	if len(r.Notes) > 0 {
+		sb.WriteString("\nNotes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&sb, "  - %s\n", n)
+		}
+	}
+	return sb.String()
+}
+
+// Runner executes one experiment.
+type Runner func(ctx context.Context, cfg Config) (*Report, error)
+
+// Registry maps experiment ids to runners, covering every table and
+// figure of §IV plus the Theorem 1 verification.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1":      Table1,
+		"fig2":        Fig2,
+		"fig3":        Fig3,
+		"fig4":        Fig4,
+		"fig5":        Fig5,
+		"fig6":        Fig6,
+		"fig7":        Fig7,
+		"thm1":        Theorem1,
+		"ext-soft":    ExtSoft,
+		"ext-batch":   ExtBatch,
+		"ext-defense": ExtDefense,
+		"ext-multi":   ExtMulti,
+		"claims":      Claims,
+	}
+}
+
+// IDs returns the registry keys in stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

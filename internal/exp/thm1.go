@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/accu-sim/accu/internal/graph"
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/stats"
+	"github.com/accu-sim/accu/internal/theory"
+)
+
+// thm1Case is one tiny enumerable ACCU instance for Theorem 1
+// verification.
+type thm1Case struct {
+	name  string
+	build func() (*osn.Instance, error)
+	k     int
+}
+
+// thm1Cases covers the paper's structural motifs: a single cautious user
+// with a threshold chain, a shared-friend pair of cautious users
+// (Lemma 5's regime), probabilistic acceptance, and probabilistic edges.
+func thm1Cases() []thm1Case {
+	mk := func(n int, edges [][2]int, mutate func(*osn.Params)) func() (*osn.Instance, error) {
+		return func() (*osn.Instance, error) {
+			b := graph.NewBuilder(n)
+			for _, e := range edges {
+				if _, err := b.AddEdge(e[0], e[1]); err != nil {
+					return nil, err
+				}
+			}
+			g := b.Freeze()
+			p := osn.Params{
+				Kind:       make([]osn.Kind, n),
+				AcceptProb: make([]float64, n),
+				Theta:      make([]int, n),
+				BFriend:    make([]float64, n),
+				BFof:       make([]float64, n),
+			}
+			for i := 0; i < n; i++ {
+				p.Kind[i] = osn.Reckless
+				p.AcceptProb[i] = 1
+				p.BFriend[i] = 2
+				p.BFof[i] = 1
+			}
+			mutate(&p)
+			return osn.NewInstance(g, p)
+		}
+	}
+	cautious := func(p *osn.Params, v, theta int) {
+		p.Kind[v] = osn.Cautious
+		p.AcceptProb[v] = 0
+		p.Theta[v] = theta
+		p.BFriend[v] = 50
+	}
+	return []thm1Case{
+		{
+			name: "threshold-2-star",
+			k:    3,
+			build: mk(4, [][2]int{{0, 3}, {1, 3}, {0, 1}, {1, 2}}, func(p *osn.Params) {
+				cautious(p, 3, 2)
+			}),
+		},
+		{
+			name: "probabilistic-acceptance",
+			k:    3,
+			build: mk(4, [][2]int{{0, 3}, {1, 3}, {1, 2}}, func(p *osn.Params) {
+				cautious(p, 3, 1)
+				p.AcceptProb[0] = 0.5
+				p.AcceptProb[2] = 0.7
+			}),
+		},
+		{
+			name: "shared-friend-two-cautious",
+			k:    3,
+			build: mk(5, [][2]int{{0, 3}, {0, 4}, {1, 3}, {2, 4}}, func(p *osn.Params) {
+				cautious(p, 3, 2)
+				cautious(p, 4, 2)
+			}),
+		},
+	}
+}
+
+// Theorem1 verifies the 1 − e^{−λ} guarantee on enumerable instances:
+// for each case it computes the exhaustive adaptive submodular ratio λ,
+// the optimal adaptive value, the exact-greedy value (w_I = 0), and
+// checks greedy ≥ (1 − e^{−λ})·OPT.
+func Theorem1(ctx context.Context, cfg Config) (*Report, error) {
+	header := []string{"instance", "k", "lambda", "bound", "greedy", "optimal", "ratio", "holds"}
+	var rows [][]string
+	var notes []string
+	for _, tc := range thm1Cases() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		inst, err := tc.build()
+		if err != nil {
+			return nil, fmt.Errorf("exp: thm1 %s: %w", tc.name, err)
+		}
+		lambda, err := theory.AdaptiveSubmodularRatio(inst)
+		if err != nil {
+			return nil, fmt.Errorf("exp: thm1 %s: %w", tc.name, err)
+		}
+		opt, err := theory.OptimalValue(inst, tc.k)
+		if err != nil {
+			return nil, fmt.Errorf("exp: thm1 %s: %w", tc.name, err)
+		}
+		gre, err := theory.GreedyValue(inst, tc.k)
+		if err != nil {
+			return nil, fmt.Errorf("exp: thm1 %s: %w", tc.name, err)
+		}
+		bound := theory.Bound(lambda)
+		holds := gre+1e-9 >= bound*opt
+		ratio := 0.0
+		if opt > 0 {
+			ratio = gre / opt
+		}
+		rows = append(rows, []string{
+			tc.name,
+			fmt.Sprintf("%d", tc.k),
+			fmt.Sprintf("%.4f", lambda),
+			fmt.Sprintf("%.4f", bound),
+			fmt.Sprintf("%.3f", gre),
+			fmt.Sprintf("%.3f", opt),
+			fmt.Sprintf("%.3f", ratio),
+			fmt.Sprintf("%v", holds),
+		})
+		if !holds {
+			notes = append(notes, fmt.Sprintf("%s: BOUND VIOLATED (greedy %.3f < %.3f)", tc.name, gre, bound*opt))
+		}
+	}
+	w, err := theory.NonSubmodularWitness()
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, fmt.Sprintf("Fig.1 witness: Δ(v1|∅)=%.1f < Δ(v1|ω2)=%.1f — not adaptive submodular", w.DeltaEarly, w.DeltaLate))
+	gamma, _, err := theory.CurvatureWitness()
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, fmt.Sprintf("curvature witness: Γ = %v (unbounded, §III-B)", gamma))
+
+	tables := []stats.Table{{Header: header, Rows: rows}}
+	return newReport("thm1", "Theorem 1 verification: greedy ≥ (1 − e^{−λ})·OPT on enumerable instances", tables, notes), nil
+}

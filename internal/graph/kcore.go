@@ -1,0 +1,79 @@
+package graph
+
+// CoreNumbers computes the k-core decomposition: coreness[u] is the
+// largest k such that u belongs to a subgraph in which every node has
+// degree >= k. Implemented with the linear-time bucket peeling of
+// Batagelj–Zaveršnik (2003).
+func (g *Graph) CoreNumbers() []int {
+	n := g.n
+	coreness := make([]int, n)
+	if n == 0 {
+		return coreness
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket sort nodes by degree.
+	bin := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		count := bin[d]
+		bin[d] = start
+		start += count
+	}
+	pos := make([]int, n)  // position of node in vert
+	vert := make([]int, n) // nodes sorted by current degree
+	for u := 0; u < n; u++ {
+		pos[u] = bin[deg[u]]
+		vert[pos[u]] = u
+		bin[deg[u]]++
+	}
+	// Restore bin starts.
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	// Peel in degree order.
+	for i := 0; i < n; i++ {
+		u := vert[i]
+		coreness[u] = deg[u]
+		for _, v32 := range g.Neighbors(u) {
+			v := int(v32)
+			if deg[v] <= deg[u] {
+				continue
+			}
+			// Swap v to the front of its degree bucket, then shrink it.
+			dv := deg[v]
+			pv := pos[v]
+			pw := bin[dv]
+			w := vert[pw]
+			if v != w {
+				pos[v], pos[w] = pw, pv
+				vert[pv], vert[pw] = w, v
+			}
+			bin[dv]++
+			deg[v]--
+		}
+	}
+	return coreness
+}
+
+// Degeneracy returns the graph degeneracy: the maximum core number.
+func (g *Graph) Degeneracy() int {
+	best := 0
+	for _, c := range g.CoreNumbers() {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

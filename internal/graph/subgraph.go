@@ -1,0 +1,46 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph extracts the subgraph induced by the node set. The
+// returned graph has dense ids [0, len(nodes)); the second return value
+// maps new ids back to the original ids, in the order given (duplicates
+// are an error).
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int, error) {
+	remap := make(map[int]int, len(nodes))
+	orig := make([]int, len(nodes))
+	for i, u := range nodes {
+		if u < 0 || u >= g.n {
+			return nil, nil, fmt.Errorf("%w: %d with n=%d", ErrNodeRange, u, g.n)
+		}
+		if _, dup := remap[u]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate node %d in subgraph set", u)
+		}
+		remap[u] = i
+		orig[i] = u
+	}
+	b := NewBuilder(len(nodes))
+	for i, u := range orig {
+		for _, v := range g.Neighbors(u) {
+			j, ok := remap[int(v)]
+			if !ok || j <= i {
+				continue
+			}
+			if _, err := b.AddEdge(i, j); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return b.Freeze(), orig, nil
+}
+
+// Clone returns a mutable Builder with the same nodes and edges as g,
+// useful for generators that post-process a frozen graph.
+func (g *Graph) Clone() *Builder {
+	b := NewBuilder(g.n)
+	g.EachEdge(func(u, v int) bool {
+		_, _ = b.AddEdge(u, v) // endpoints known in range
+		return true
+	})
+	return b
+}

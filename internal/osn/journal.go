@@ -1,0 +1,173 @@
+package osn
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Journal records an attack as the sequence of requests it sent — enough,
+// together with the realization, to replay the attack deterministically.
+// Journals let experiment runs be audited after the fact and make attack
+// traces portable across processes.
+type Journal struct {
+	// Users holds the request targets in send order.
+	Users []int
+	// BatchSizes optionally marks batch boundaries: the attack sent
+	// BatchSizes[0] requests, then BatchSizes[1], ... Summing to
+	// len(Users). nil means one request at a time.
+	BatchSizes []int
+}
+
+// ErrJournalShape is returned when a journal's batch sizes do not match
+// its user list.
+var ErrJournalShape = errors.New("osn: journal batch sizes do not sum to the user count")
+
+// Validate checks internal consistency.
+func (j *Journal) Validate() error {
+	if j.BatchSizes == nil {
+		return nil
+	}
+	total := 0
+	for _, b := range j.BatchSizes {
+		if b <= 0 {
+			return fmt.Errorf("%w: batch size %d", ErrJournalShape, b)
+		}
+		total += b
+	}
+	if total != len(j.Users) {
+		return fmt.Errorf("%w: %d vs %d users", ErrJournalShape, total, len(j.Users))
+	}
+	return nil
+}
+
+// Record appends a single request.
+func (j *Journal) Record(u int) {
+	j.Users = append(j.Users, u)
+	if j.BatchSizes != nil {
+		j.BatchSizes = append(j.BatchSizes, 1)
+	}
+}
+
+// RecordBatch appends a batch of requests.
+func (j *Journal) RecordBatch(users []int) {
+	if j.BatchSizes == nil {
+		// Promote earlier singles to explicit batches.
+		j.BatchSizes = make([]int, len(j.Users))
+		for i := range j.BatchSizes {
+			j.BatchSizes[i] = 1
+		}
+	}
+	j.Users = append(j.Users, users...)
+	j.BatchSizes = append(j.BatchSizes, len(users))
+}
+
+// Replay re-executes the journal against a realization and returns the
+// final state. Replaying the journal of an attack against the same
+// realization reproduces its outcomes exactly.
+func (j *Journal) Replay(re *Realization) (*State, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	st := NewState(re)
+	if j.BatchSizes == nil {
+		for _, u := range j.Users {
+			if _, err := st.Request(u); err != nil {
+				return nil, fmt.Errorf("osn: replay: %w", err)
+			}
+		}
+		return st, nil
+	}
+	i := 0
+	for _, b := range j.BatchSizes {
+		if _, err := st.RequestBatch(j.Users[i : i+b]); err != nil {
+			return nil, fmt.Errorf("osn: replay batch: %w", err)
+		}
+		i += b
+	}
+	return st, nil
+}
+
+// WriteTo serializes the journal as plain text: one line per batch, users
+// space-separated. It implements io.WriterTo.
+func (j *Journal) WriteTo(w io.Writer) (int64, error) {
+	if err := j.Validate(); err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(w)
+	var written int64
+	writeBatch := func(users []int) error {
+		parts := make([]string, len(users))
+		for i, u := range users {
+			parts[i] = strconv.Itoa(u)
+		}
+		n, err := bw.WriteString(strings.Join(parts, " ") + "\n")
+		written += int64(n)
+		return err
+	}
+	if j.BatchSizes == nil {
+		for _, u := range j.Users {
+			if err := writeBatch([]int{u}); err != nil {
+				return written, fmt.Errorf("osn: write journal: %w", err)
+			}
+		}
+	} else {
+		i := 0
+		for _, b := range j.BatchSizes {
+			if err := writeBatch(j.Users[i : i+b]); err != nil {
+				return written, fmt.Errorf("osn: write journal: %w", err)
+			}
+			i += b
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("osn: flush journal: %w", err)
+	}
+	return written, nil
+}
+
+// ReadJournal parses the plain-text journal format produced by WriteTo.
+func ReadJournal(r io.Reader) (*Journal, error) {
+	j := &Journal{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	var batches [][]int
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		batch := make([]int, 0, len(fields))
+		for _, f := range fields {
+			u, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("osn: journal line %d: %w", lineNo, err)
+			}
+			batch = append(batch, u)
+		}
+		batches = append(batches, batch)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("osn: read journal: %w", err)
+	}
+	allSingles := true
+	for _, b := range batches {
+		if len(b) != 1 {
+			allSingles = false
+			break
+		}
+	}
+	for _, b := range batches {
+		if allSingles {
+			j.Users = append(j.Users, b[0])
+		} else {
+			j.RecordBatch(b)
+		}
+	}
+	return j, nil
+}

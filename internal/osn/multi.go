@@ -1,0 +1,239 @@
+package osn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// View is the read side of an attacker's knowledge that scoring functions
+// (e.g. the ABM potential) consume. *State implements it for the
+// single-bot attack; BotView implements it per bot in the collaborative
+// multi-bot attack (paper reference [5]).
+type View interface {
+	// Instance returns the problem instance.
+	Instance() *Instance
+	// Requested reports whether this attacker already requested u.
+	Requested(u int) bool
+	// IsFriend reports whether u accepted this attacker's request.
+	IsFriend(u int) bool
+	// IsFOF reports whether u is a friend-of-friend of this attacker.
+	IsFOF(u int) bool
+	// Mutual returns this attacker's mutual-friend count with u.
+	Mutual(u int) int
+	// AcceptChance estimates the probability u accepts a request now.
+	AcceptChance(u int) float64
+	// PosteriorEdgeProb returns the attacker's belief in edge
+	// (u, Neighbors(u)[i]) at CSR slot.
+	PosteriorEdgeProb(u, v, slot int) float64
+}
+
+var _ View = (*State)(nil)
+
+// ErrBadBot is returned for an out-of-range bot index.
+var ErrBadBot = errors.New("osn: bot index out of range")
+
+// MultiState is the collaborative multi-socialbot attack state: m bots
+// share every observation (revealed neighborhoods, acceptance results)
+// but maintain separate friend sets — a cautious user counts mutual
+// friends with the requesting bot only. Benefit follows union semantics:
+// B_f(u) once if any bot befriends u, B_fof(u) once if u is adjacent to
+// some bot's friend and no bot's friend itself.
+type MultiState struct {
+	inst *Instance
+	real *Realization
+	bots int
+
+	requested [][]bool  // [bot][user]
+	friend    [][]bool  // [bot][user]
+	mutual    [][]int32 // [bot][user]
+
+	friendAny []bool // u accepted some bot
+	fofAny    []bool // u currently counted as FOF of the collective
+
+	benefit         float64
+	requests        int
+	friendsTotal    int
+	cautiousFriends int
+}
+
+// NewMultiState starts a collaborative attack with the given number of
+// bots against one realization.
+func NewMultiState(re *Realization, bots int) (*MultiState, error) {
+	if bots < 1 {
+		return nil, fmt.Errorf("osn: bots = %d, must be >= 1", bots)
+	}
+	n := re.inst.N()
+	ms := &MultiState{
+		inst:      re.inst,
+		real:      re,
+		bots:      bots,
+		requested: make([][]bool, bots),
+		friend:    make([][]bool, bots),
+		mutual:    make([][]int32, bots),
+		friendAny: make([]bool, n),
+		fofAny:    make([]bool, n),
+	}
+	for b := 0; b < bots; b++ {
+		ms.requested[b] = make([]bool, n)
+		ms.friend[b] = make([]bool, n)
+		ms.mutual[b] = make([]int32, n)
+	}
+	return ms, nil
+}
+
+// Bots returns the number of bots.
+func (ms *MultiState) Bots() int { return ms.bots }
+
+// Request sends bot b's friend request to u. Each (bot, user) pair gets
+// at most one request; a user may be befriended by several bots (only the
+// first acceptance yields the friend benefit).
+func (ms *MultiState) Request(b, u int) (Outcome, error) {
+	if b < 0 || b >= ms.bots {
+		return Outcome{}, fmt.Errorf("%w: %d", ErrBadBot, b)
+	}
+	if u < 0 || u >= ms.inst.N() {
+		return Outcome{}, fmt.Errorf("%w: %d", ErrBadUser, u)
+	}
+	if ms.requested[b][u] {
+		return Outcome{}, fmt.Errorf("%w: bot %d user %d", ErrAlreadyRequested, b, u)
+	}
+	ms.requested[b][u] = true
+	ms.requests++
+
+	out := Outcome{User: u, Cautious: ms.inst.kind[u] == Cautious}
+	switch ms.inst.kind[u] {
+	case Reckless:
+		out.Accepted = ms.real.accepts[u]
+	case Cautious:
+		out.Accepted = ms.real.AcceptsCautious(u, int(ms.mutual[b][u]) >= ms.inst.theta[u])
+	}
+	if !out.Accepted {
+		return out, nil
+	}
+
+	var gain float64
+	if !ms.friendAny[u] {
+		gain = ms.inst.bFriend[u]
+		if ms.fofAny[u] {
+			gain -= ms.inst.bFof[u]
+			ms.fofAny[u] = false
+		}
+		ms.friendAny[u] = true
+		ms.friendsTotal++
+		if out.Cautious {
+			ms.cautiousFriends++
+		}
+	}
+	ms.friend[b][u] = true
+
+	// Reveal N(u) to the collective; bot b's mutual counters advance.
+	base := ms.inst.g.AdjBase(u)
+	for i, v := range ms.inst.g.Neighbors(u) {
+		if !ms.real.edgeExists[base+i] {
+			continue
+		}
+		if !ms.friendAny[v] && !ms.fofAny[v] {
+			gain += ms.inst.bFof[v]
+			ms.fofAny[v] = true
+		}
+		ms.mutual[b][v]++
+	}
+	ms.benefit += gain
+	out.Gain = gain
+	return out, nil
+}
+
+// Benefit returns the collective benefit.
+func (ms *MultiState) Benefit() float64 { return ms.benefit }
+
+// Requests returns the total number of requests sent by all bots.
+func (ms *MultiState) Requests() int { return ms.requests }
+
+// Friends returns the number of users befriended by at least one bot.
+func (ms *MultiState) Friends() int { return ms.friendsTotal }
+
+// FriendOfAny reports whether u is already a friend of some bot (its
+// friend benefit is spent).
+func (ms *MultiState) FriendOfAny(u int) bool { return ms.friendAny[u] }
+
+// CautiousFriends returns the cautious users befriended by at least one
+// bot.
+func (ms *MultiState) CautiousFriends() int { return ms.cautiousFriends }
+
+// RecomputeBenefit recomputes the union benefit from scratch for
+// validating the incremental accounting in tests.
+func (ms *MultiState) RecomputeBenefit() float64 {
+	var total float64
+	for u := 0; u < ms.inst.N(); u++ {
+		if ms.friendAny[u] {
+			total += ms.inst.bFriend[u]
+			continue
+		}
+		base := ms.inst.g.AdjBase(u)
+		for i, w := range ms.inst.g.Neighbors(u) {
+			if ms.friendAny[w] && ms.real.edgeExists[base+i] {
+				total += ms.inst.bFof[u]
+				break
+			}
+		}
+	}
+	return total
+}
+
+// View returns bot b's read view for scoring. The view reflects the
+// shared observations but bot-local friendship and mutual counts.
+func (ms *MultiState) View(b int) (*BotView, error) {
+	if b < 0 || b >= ms.bots {
+		return nil, fmt.Errorf("%w: %d", ErrBadBot, b)
+	}
+	return &BotView{ms: ms, bot: b}, nil
+}
+
+// BotView adapts one bot's perspective of a MultiState to the View
+// interface.
+type BotView struct {
+	ms  *MultiState
+	bot int
+}
+
+var _ View = (*BotView)(nil)
+
+// Instance implements View.
+func (v *BotView) Instance() *Instance { return v.ms.inst }
+
+// Requested implements View (this bot's requests only).
+func (v *BotView) Requested(u int) bool { return v.ms.requested[v.bot][u] }
+
+// IsFriend implements View (friendship with this bot).
+func (v *BotView) IsFriend(u int) bool { return v.ms.friend[v.bot][u] }
+
+// IsFOF implements View: u is adjacent to one of this bot's friends.
+func (v *BotView) IsFOF(u int) bool {
+	return !v.ms.friend[v.bot][u] && v.ms.mutual[v.bot][u] > 0
+}
+
+// Mutual implements View (this bot's mutual-friend count).
+func (v *BotView) Mutual(u int) int { return int(v.ms.mutual[v.bot][u]) }
+
+// AcceptChance implements View.
+func (v *BotView) AcceptChance(u int) float64 {
+	if v.ms.inst.kind[u] == Cautious {
+		if int(v.ms.mutual[v.bot][u]) >= v.ms.inst.theta[u] {
+			return v.ms.inst.qHigh[u]
+		}
+		return v.ms.inst.qLow[u]
+	}
+	return v.ms.inst.acceptProb[u]
+}
+
+// PosteriorEdgeProb implements View: observations are shared — an edge
+// incident to ANY bot's friend is revealed to all bots.
+func (v *BotView) PosteriorEdgeProb(u, w, slot int) float64 {
+	if v.ms.friendAny[u] || v.ms.friendAny[w] {
+		if v.ms.real.edgeExists[slot] {
+			return 1
+		}
+		return 0
+	}
+	return v.ms.inst.edgeProb[slot]
+}

@@ -1,0 +1,218 @@
+package osn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+func TestNewMultiStateValidation(t *testing.T) {
+	inst := cautiousFixture(t)
+	if _, err := NewMultiState(allIn(inst), 0); err == nil {
+		t.Error("bots=0: want error")
+	}
+	ms, err := NewMultiState(allIn(inst), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Bots() != 3 {
+		t.Errorf("bots = %d", ms.Bots())
+	}
+}
+
+func TestMultiUnionBenefit(t *testing.T) {
+	// Bots 0 and 1 both befriend user 1: B_f(1) counted once.
+	inst := cautiousFixture(t)
+	ms, err := NewMultiState(allIn(inst), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out0, err := ms.Request(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out0.Accepted || out0.Gain != 5 { // B_f + 3 FOFs
+		t.Fatalf("bot 0 outcome %+v", out0)
+	}
+	out1, err := ms.Request(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out1.Accepted {
+		t.Fatal("bot 1 rejected by dispositionally accepting user")
+	}
+	if out1.Gain != 0 {
+		t.Errorf("second befriending gained %v, want 0 (union semantics)", out1.Gain)
+	}
+	if ms.Benefit() != 5 || ms.Friends() != 1 {
+		t.Errorf("benefit %v friends %d", ms.Benefit(), ms.Friends())
+	}
+}
+
+func TestMultiPerBotMutualThreshold(t *testing.T) {
+	// Cautious 3 (θ=1, neighbor 1): bot 0 befriends 1, so only bot 0
+	// reaches the threshold — bot 1's request must be rejected.
+	inst := cautiousFixture(t)
+	ms, err := NewMultiState(allIn(inst), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Request(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	v0, err := ms.View(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := ms.View(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0.Mutual(3) != 1 || v1.Mutual(3) != 0 {
+		t.Fatalf("mutual counts: bot0=%d bot1=%d", v0.Mutual(3), v1.Mutual(3))
+	}
+	out, err := ms.Request(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("cautious user accepted a bot without mutual friends")
+	}
+	out, err = ms.Request(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Error("cautious user rejected the bot meeting its threshold")
+	}
+}
+
+func TestMultiSharedObservations(t *testing.T) {
+	// Edge posteriors are shared: after bot 0 befriends 1, bot 1's view
+	// must see edge (1,2) as observed.
+	inst := cautiousFixture(t)
+	re := inst.FixedRealization(func(u, v int) bool { return u == 0 && v == 1 }, nil)
+	ms, err := NewMultiState(re, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Request(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := ms.View(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Graph()
+	if got := v1.PosteriorEdgeProb(1, 2, g.IndexOf(1, 2)); got != 0 {
+		t.Errorf("bot 1 posterior for observed-missing edge = %v", got)
+	}
+	if got := v1.PosteriorEdgeProb(0, 1, g.IndexOf(0, 1)); got != 1 {
+		t.Errorf("bot 1 posterior for observed-present edge = %v", got)
+	}
+}
+
+func TestMultiRequestErrors(t *testing.T) {
+	inst := cautiousFixture(t)
+	ms, err := NewMultiState(allIn(inst), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Request(5, 0); !errors.Is(err, ErrBadBot) {
+		t.Errorf("bad bot: %v", err)
+	}
+	if _, err := ms.Request(0, 99); !errors.Is(err, ErrBadUser) {
+		t.Errorf("bad user: %v", err)
+	}
+	if _, err := ms.Request(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Request(0, 1); !errors.Is(err, ErrAlreadyRequested) {
+		t.Errorf("duplicate per-bot request: %v", err)
+	}
+	// A different bot may still request the same user.
+	if _, err := ms.Request(1, 1); err != nil {
+		t.Errorf("cross-bot request: %v", err)
+	}
+	if _, err := ms.View(9); !errors.Is(err, ErrBadBot) {
+		t.Errorf("bad view: %v", err)
+	}
+}
+
+func TestMultiIncrementalMatchesRecompute(t *testing.T) {
+	g, err := gen400(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DefaultSetup()
+	s.NumCautious = 8
+	inst, err := s.Build(g, rng.NewSeed(71, 72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		re := inst.SampleRealization(rng.NewSeed(uint64(trial), 73))
+		ms, err := NewMultiState(re, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.NewSeed(uint64(trial), 74).Rand()
+		users, err := rng.SampleWithoutReplacement(r, inst.N(), 45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range users {
+			if _, err := ms.Request(i%3, u); err != nil {
+				t.Fatal(err)
+			}
+			if inc, scratch := ms.Benefit(), ms.RecomputeBenefit(); math.Abs(inc-scratch) > 1e-9 {
+				t.Fatalf("trial %d step %d: incremental %v != recomputed %v", trial, i, inc, scratch)
+			}
+		}
+	}
+}
+
+func TestMultiSingleBotMatchesState(t *testing.T) {
+	// A 1-bot MultiState must agree with State on the same request
+	// sequence.
+	g, err := gen400(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DefaultSetup()
+	s.NumCautious = 8
+	inst, err := s.Build(g, rng.NewSeed(81, 82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := inst.SampleRealization(rng.NewSeed(83, 84))
+	ms, err := NewMultiState(re, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(re)
+	r := rng.NewSeed(85, 86).Rand()
+	users, err := rng.SampleWithoutReplacement(r, inst.N(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users {
+		outM, err := ms.Request(0, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outS, err := st.Request(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outM != outS {
+			t.Fatalf("user %d: multi %+v vs single %+v", u, outM, outS)
+		}
+	}
+	if ms.Benefit() != st.Benefit() || ms.CautiousFriends() != st.CautiousFriends() {
+		t.Errorf("final state differs: %v/%d vs %v/%d",
+			ms.Benefit(), ms.CautiousFriends(), st.Benefit(), st.CautiousFriends())
+	}
+}

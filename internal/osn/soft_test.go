@@ -1,0 +1,212 @@
+package osn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+// softFixture: star of reckless users 0,1 around cautious 2 with θ=1 and
+// the generalized acceptance (qLow, qHigh).
+func softFixture(t *testing.T, qLow, qHigh float64) *Instance {
+	t.Helper()
+	g := buildGraph(t, 3, [][2]int{{0, 2}, {1, 2}})
+	p := uniformParams(3)
+	p.Kind[2] = Cautious
+	p.AcceptProb[2] = 0
+	p.Theta[2] = 1
+	p.BFriend[2] = 50
+	p.QLow = []float64{0, 0, qLow}
+	p.QHigh = []float64{1, 1, qHigh}
+	inst, err := NewInstance(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestSoftModelValidation(t *testing.T) {
+	g := buildGraph(t, 2, [][2]int{{0, 1}})
+	p := uniformParams(2)
+	p.Kind[1] = Cautious
+	p.AcceptProb[1] = 0
+	p.Theta[1] = 1
+	p.BFriend[1] = 50
+
+	p.QLow = []float64{0, 0.8}
+	p.QHigh = []float64{1, 0.5} // qLow > qHigh
+	if _, err := NewInstance(g, p); !errors.Is(err, ErrBadProbability) {
+		t.Errorf("qLow > qHigh: %v", err)
+	}
+
+	p.QLow = []float64{0, -0.1}
+	p.QHigh = []float64{1, 1}
+	if _, err := NewInstance(g, p); !errors.Is(err, ErrBadProbability) {
+		t.Errorf("negative qLow: %v", err)
+	}
+
+	p.QLow = []float64{0}
+	p.QHigh = []float64{1}
+	if _, err := NewInstance(g, p); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("short qLow: %v", err)
+	}
+
+	p.QLow = []float64{0, 0}
+	p.QHigh = nil
+	if _, err := NewInstance(g, p); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("qLow without qHigh: %v", err)
+	}
+}
+
+func TestDeterministicFlag(t *testing.T) {
+	det := softFixture(t, 0, 1)
+	if !det.Deterministic() {
+		t.Error("qLow=0 qHigh=1 must report deterministic")
+	}
+	soft := softFixture(t, 0.2, 0.9)
+	if soft.Deterministic() {
+		t.Error("soft model must not report deterministic")
+	}
+}
+
+func TestSoftAcceptanceBelowThreshold(t *testing.T) {
+	inst := softFixture(t, 1, 1) // always accepts, even below threshold
+	re := inst.FixedRealizationCautious(nil, nil,
+		func(int) bool { return true }, func(int) bool { return true })
+	st := NewState(re)
+	out, err := st.Request(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Error("qLow=1 cautious user rejected below threshold")
+	}
+}
+
+func TestSoftAcceptanceCoinSelection(t *testing.T) {
+	// low coin false, high coin true: rejected below threshold, accepted
+	// at threshold.
+	inst := softFixture(t, 0.5, 0.9)
+	re := inst.FixedRealizationCautious(nil, nil,
+		func(int) bool { return false }, func(int) bool { return true })
+
+	// Below threshold: low coin (false) → reject.
+	st := NewState(re)
+	out, err := st.Request(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("low coin false but accepted")
+	}
+
+	// At threshold (befriend 0 first): high coin (true) → accept.
+	st2 := NewState(re)
+	if _, err := st2.Request(0); err != nil {
+		t.Fatal(err)
+	}
+	out, err = st2.Request(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Error("high coin true but rejected")
+	}
+}
+
+func TestSoftAcceptanceFrequencies(t *testing.T) {
+	inst := softFixture(t, 0.25, 0.75)
+	root := rng.NewSeed(100, 101)
+	var lowAccepts, highAccepts int
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		re := inst.SampleRealization(root.SplitN("draw", i))
+		// Below threshold.
+		st := NewState(re)
+		if out, err := st.Request(2); err != nil {
+			t.Fatal(err)
+		} else if out.Accepted {
+			lowAccepts++
+		}
+		// At threshold.
+		st2 := NewState(re)
+		if _, err := st2.Request(0); err != nil {
+			t.Fatal(err)
+		}
+		if out, err := st2.Request(2); err != nil {
+			t.Fatal(err)
+		} else if out.Accepted {
+			highAccepts++
+		}
+	}
+	if f := float64(lowAccepts) / draws; math.Abs(f-0.25) > 0.03 {
+		t.Errorf("below-threshold acceptance %.3f, want ≈ 0.25", f)
+	}
+	if f := float64(highAccepts) / draws; math.Abs(f-0.75) > 0.03 {
+		t.Errorf("at-threshold acceptance %.3f, want ≈ 0.75", f)
+	}
+}
+
+func TestAcceptChance(t *testing.T) {
+	inst := softFixture(t, 0.2, 0.9)
+	st := NewState(inst.FixedRealization(nil, nil))
+	if got := st.AcceptChance(2); got != 0.2 {
+		t.Errorf("below-threshold chance = %v", got)
+	}
+	if got := st.AcceptChance(0); got != 1 {
+		t.Errorf("reckless chance = %v", got)
+	}
+	if _, err := st.Request(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.AcceptChance(2); got != 0.9 {
+		t.Errorf("at-threshold chance = %v", got)
+	}
+}
+
+func TestSetupSoftModel(t *testing.T) {
+	g, err := gen400(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DefaultSetup()
+	s.NumCautious = 5
+	s.QLowCautious = 0.1
+	s.QHighCautious = 0.8
+	inst, err := s.Build(g, rng.NewSeed(55, 56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range inst.Cautious() {
+		if inst.QLow(v) != 0.1 || inst.QHigh(v) != 0.8 {
+			t.Errorf("cautious %d: qLow=%v qHigh=%v", v, inst.QLow(v), inst.QHigh(v))
+		}
+	}
+	if inst.Deterministic() {
+		t.Error("soft setup reported deterministic")
+	}
+	// Invalid combos rejected.
+	s.QLowCautious = 0.9
+	s.QHighCautious = 0.5
+	if _, err := s.Build(g, rng.NewSeed(55, 56)); err == nil {
+		t.Error("qLow > qHigh in setup: want error")
+	}
+}
+
+func TestSetupDefaultStaysDeterministic(t *testing.T) {
+	g, err := gen400(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DefaultSetup()
+	s.NumCautious = 5
+	inst, err := s.Build(g, rng.NewSeed(57, 58))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Deterministic() {
+		t.Error("default setup must use the deterministic model")
+	}
+}

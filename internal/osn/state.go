@@ -1,0 +1,236 @@
+package osn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by State.Request.
+var (
+	ErrAlreadyRequested = errors.New("osn: user already received a request")
+	ErrBadUser          = errors.New("osn: user id out of range")
+)
+
+// State is the attacker's partial realization ω: which requests were sent
+// and answered, which neighborhoods are revealed, the derived
+// friend/friend-of-friend sets, and the collected benefit f(dom(ω), φ).
+//
+// The mutual-friend counters are exact attacker knowledge: every accepted
+// user's realized neighborhood is revealed on acceptance, and the
+// attacker's friends are exactly the accepted users, so
+// mutual[v] = |N(s) ∩ N(v)| at all times.
+//
+// A State is single-goroutine; clone per concurrent run.
+type State struct {
+	inst *Instance
+	real *Realization
+
+	requested []bool
+	friend    []bool
+	mutual    []int32
+
+	benefit         float64
+	requests        int
+	numFriends      int
+	cautiousFriends int
+	fofCount        int
+}
+
+// NewState starts an attack against the given realization: no requests
+// sent, F = FOF = ∅.
+func NewState(re *Realization) *State {
+	n := re.inst.N()
+	return &State{
+		inst:      re.inst,
+		real:      re,
+		requested: make([]bool, n),
+		friend:    make([]bool, n),
+		mutual:    make([]int32, n),
+	}
+}
+
+// Instance returns the underlying problem instance.
+func (st *State) Instance() *Instance { return st.inst }
+
+// Realization returns the ground truth this attack runs against.
+func (st *State) Realization() *Realization { return st.real }
+
+// Outcome reports the result of one friend request.
+type Outcome struct {
+	// User is the request target.
+	User int
+	// Accepted reports whether the request was accepted.
+	Accepted bool
+	// Gain is the realized marginal benefit of this request:
+	// f(dom(ω)∪{u}, φ) − f(dom(ω), φ).
+	Gain float64
+	// Cautious reports whether the target is a cautious user.
+	Cautious bool
+}
+
+// Request sends a friend request to u, applies the acceptance model,
+// reveals N(u) on acceptance, and updates the benefit accounting. A user
+// may receive at most one request (Algorithm 1 selects from V \ Q).
+func (st *State) Request(u int) (Outcome, error) {
+	if u < 0 || u >= st.inst.N() {
+		return Outcome{}, fmt.Errorf("%w: %d", ErrBadUser, u)
+	}
+	if st.requested[u] {
+		return Outcome{}, fmt.Errorf("%w: %d", ErrAlreadyRequested, u)
+	}
+	st.requested[u] = true
+	st.requests++
+
+	out := Outcome{User: u, Cautious: st.inst.kind[u] == Cautious}
+	switch st.inst.kind[u] {
+	case Reckless:
+		out.Accepted = st.real.accepts[u]
+	case Cautious:
+		// Generalized §III-B model: the pre-drawn coin for the current
+		// threshold condition. Under the paper's deterministic model
+		// this is exactly mutual >= θ.
+		out.Accepted = st.real.AcceptsCautious(u, int(st.mutual[u]) >= st.inst.theta[u])
+	}
+	if !out.Accepted {
+		return out, nil
+	}
+
+	// u joins F. If u was a friend-of-friend its B_fof was already
+	// collected; upgrade to the friend benefit.
+	gain := st.inst.bFriend[u]
+	if st.mutual[u] > 0 {
+		gain -= st.inst.bFof[u]
+		st.fofCount--
+	}
+	st.friend[u] = true
+	st.numFriends++
+	if out.Cautious {
+		st.cautiousFriends++
+	}
+
+	// Reveal N(u): every realized neighbor v gains one mutual friend
+	// with the attacker; non-friends entering FOF yield B_fof(v).
+	base := st.inst.g.AdjBase(u)
+	for i, v := range st.inst.g.Neighbors(u) {
+		if !st.real.edgeExists[base+i] {
+			continue
+		}
+		if st.mutual[v] == 0 && !st.friend[v] {
+			gain += st.inst.bFof[v]
+			st.fofCount++
+		}
+		st.mutual[v]++
+	}
+
+	st.benefit += gain
+	out.Gain = gain
+	return out, nil
+}
+
+// Requested reports whether u already received a request.
+func (st *State) Requested(u int) bool { return st.requested[u] }
+
+// IsFriend reports whether u accepted a request (u ∈ F).
+func (st *State) IsFriend(u int) bool { return st.friend[u] }
+
+// IsFOF reports whether u is currently a friend-of-friend: not a friend
+// but adjacent (via a realized, observed edge) to at least one friend.
+func (st *State) IsFOF(u int) bool { return !st.friend[u] && st.mutual[u] > 0 }
+
+// Mutual returns |N(s) ∩ N(u)|, the attacker's mutual-friend count with u.
+func (st *State) Mutual(u int) int { return int(st.mutual[u]) }
+
+// WouldAccept reports whether a request to u could be accepted right now,
+// as far as the attacker can predict: for cautious users it reports
+// whether the current acceptance probability is positive (under the
+// paper's deterministic model, exactly the threshold condition); for
+// reckless users it reports true (acceptance is probabilistic and unknown
+// in advance).
+func (st *State) WouldAccept(u int) bool {
+	if st.inst.kind[u] == Cautious {
+		return st.AcceptChance(u) > 0
+	}
+	return true
+}
+
+// AcceptChance returns the attacker's current estimate of the probability
+// that a request to u is accepted: q(u) for reckless users; the
+// condition-matched QLow/QHigh for cautious users.
+func (st *State) AcceptChance(u int) float64 {
+	if st.inst.kind[u] == Cautious {
+		if int(st.mutual[u]) >= st.inst.theta[u] {
+			return st.inst.qHigh[u]
+		}
+		return st.inst.qLow[u]
+	}
+	return st.inst.acceptProb[u]
+}
+
+// Benefit returns the total collected benefit f(dom(ω), φ).
+func (st *State) Benefit() float64 { return st.benefit }
+
+// Requests returns the number of requests sent (|dom(ω)|).
+func (st *State) Requests() int { return st.requests }
+
+// Friends returns |F|.
+func (st *State) Friends() int { return st.numFriends }
+
+// CautiousFriends returns the number of cautious users in F.
+func (st *State) CautiousFriends() int { return st.cautiousFriends }
+
+// FOFCount returns |FOF|.
+func (st *State) FOFCount() int { return st.fofCount }
+
+// ClassCounts returns the §II-A partition sizes from the attacker's
+// perspective: friends F, friends-of-friends FOF, and strangers S
+// (everyone else). The three always sum to N.
+func (st *State) ClassCounts() (friends, fof, strangers int) {
+	friends = st.numFriends
+	fof = st.fofCount
+	strangers = st.inst.N() - friends - fof
+	return friends, fof, strangers
+}
+
+// PosteriorEdgeProb returns the attacker's belief that the potential edge
+// at the CSR slot (u, Neighbors(u)[i]) exists: 1 or 0 once observed
+// (either endpoint is a friend), the prior p(u, v) otherwise.
+func (st *State) PosteriorEdgeProb(u, v, slot int) float64 {
+	if st.friend[u] || st.friend[v] {
+		if st.real.edgeExists[slot] {
+			return 1
+		}
+		return 0
+	}
+	return st.inst.edgeProb[slot]
+}
+
+// RecomputeBenefit recomputes f(dom(ω), φ) from scratch — O(N + M) — for
+// validating the incremental accounting in tests.
+func (st *State) RecomputeBenefit() float64 {
+	var total float64
+	for u := 0; u < st.inst.N(); u++ {
+		if st.friend[u] {
+			total += st.inst.bFriend[u]
+			continue
+		}
+		// FOF: some friend w has a realized edge to u.
+		base := st.inst.g.AdjBase(u)
+		for i, w := range st.inst.g.Neighbors(u) {
+			if st.friend[w] && st.real.edgeExists[base+i] {
+				total += st.inst.bFof[u]
+				break
+			}
+		}
+	}
+	return total
+}
+
+// Clone returns an independent copy of the state sharing the immutable
+// instance and realization.
+func (st *State) Clone() *State {
+	cp := *st
+	cp.requested = append([]bool(nil), st.requested...)
+	cp.friend = append([]bool(nil), st.friend...)
+	cp.mutual = append([]int32(nil), st.mutual...)
+	return &cp
+}

@@ -1,0 +1,234 @@
+// Package sim runs the Monte-Carlo experiment protocol of §IV-A: a grid
+// of (sample network × repetition) cells, each executing every policy
+// under comparison against the same sampled realization, fanned out over
+// a bounded worker pool with deterministic per-cell seeding.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/gen"
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+// Protocol describes one Monte-Carlo experiment.
+type Protocol struct {
+	// Gen produces sample networks (one per Networks index).
+	Gen gen.Generator
+	// Setup dresses each network into an ACCU instance.
+	Setup osn.Setup
+	// Networks is the number of sample networks (paper: 100).
+	Networks int
+	// Runs is the number of algorithm executions per network (paper: 30).
+	Runs int
+	// K is the friend-request budget per run.
+	K int
+	// BatchSize > 1 switches to the parallel-batching attack model
+	// (requests go out BatchSize at a time with no observations inside a
+	// batch); 0 or 1 is the paper's fully adaptive one-at-a-time model.
+	// Batching requires every policy to implement core.BatchSelector.
+	BatchSize int
+	// Seed is the root seed; every cell derives its own stream from it.
+	Seed rng.Seed
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Validate checks the protocol is runnable.
+func (p Protocol) Validate() error {
+	switch {
+	case p.Gen == nil:
+		return errors.New("sim: nil generator")
+	case p.Networks <= 0:
+		return fmt.Errorf("sim: Networks = %d, must be positive", p.Networks)
+	case p.Runs <= 0:
+		return fmt.Errorf("sim: Runs = %d, must be positive", p.Runs)
+	case p.K <= 0:
+		return fmt.Errorf("sim: K = %d, must be positive", p.K)
+	case p.BatchSize < 0:
+		return fmt.Errorf("sim: BatchSize = %d, must be >= 0", p.BatchSize)
+	case p.Workers < 0:
+		return fmt.Errorf("sim: Workers = %d, must be >= 0", p.Workers)
+	}
+	return nil
+}
+
+// PolicyFactory constructs a fresh policy for each run (policies carry
+// per-attack state). The run seed is deterministic per cell, feeding
+// randomized policies such as Random.
+type PolicyFactory struct {
+	// Name labels the policy in records (useful before Init).
+	Name string
+	// New builds the policy for one run.
+	New func(runSeed rng.Seed) (core.Policy, error)
+}
+
+// ABMFactory builds an ABM policy factory with the given weights.
+func ABMFactory(w Weights) (PolicyFactory, error) {
+	if err := w.Validate(); err != nil {
+		return PolicyFactory{}, err
+	}
+	probe, err := core.NewABM(w)
+	if err != nil {
+		return PolicyFactory{}, err
+	}
+	return PolicyFactory{
+		Name: probe.Name(),
+		New: func(rng.Seed) (core.Policy, error) {
+			return core.NewABM(w)
+		},
+	}, nil
+}
+
+// Weights aliases core.Weights for caller convenience.
+type Weights = core.Weights
+
+// DefaultFactories returns the §IV policy roster: ABM with the given
+// weights plus the MaxDegree, PageRank and Random baselines.
+func DefaultFactories(w Weights) ([]PolicyFactory, error) {
+	abm, err := ABMFactory(w)
+	if err != nil {
+		return nil, err
+	}
+	return []PolicyFactory{
+		abm,
+		{Name: "maxdegree", New: func(rng.Seed) (core.Policy, error) { return core.NewMaxDegree(), nil }},
+		{Name: "pagerank", New: func(rng.Seed) (core.Policy, error) { return core.NewPageRank(), nil }},
+		{Name: "random", New: func(s rng.Seed) (core.Policy, error) { return core.NewRandom(s), nil }},
+	}, nil
+}
+
+// Record is the outcome of one (policy, network, run) cell.
+type Record struct {
+	// Policy is the factory name.
+	Policy string
+	// Network and Run locate the Monte-Carlo cell.
+	Network, Run int
+	// Result is the full attack trace.
+	Result *core.Result
+}
+
+// Run executes the protocol. Every policy in factories attacks the same
+// realization within a cell, so policies are compared on identical ground
+// truth. collect is invoked serially (no locking needed by the caller)
+// but in nondeterministic cell order; the per-cell randomness itself is
+// fully deterministic in Protocol.Seed. Run stops at the first error or
+// when ctx is cancelled.
+func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect func(Record)) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(factories) == 0 {
+		return errors.New("sim: no policy factories")
+	}
+	workers := p.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.Networks {
+		workers = p.Networks
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	networkIdx := make(chan int)
+	records := make(chan Record)
+	errc := make(chan error, workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range networkIdx {
+				if err := runNetwork(ctx, p, factories, i, records); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+
+	// Feed network indices; close records when all workers are done.
+	go func() {
+		defer close(networkIdx)
+		for i := 0; i < p.Networks; i++ {
+			select {
+			case networkIdx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(records)
+	}()
+
+	for rec := range records {
+		collect(rec)
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	return ctx.Err()
+}
+
+// runNetwork generates network i, builds its instance, and executes all
+// (run, policy) cells.
+func runNetwork(ctx context.Context, p Protocol, factories []PolicyFactory, i int, records chan<- Record) error {
+	netSeed := p.Seed.SplitN("network", i)
+	g, err := p.Gen.Generate(netSeed)
+	if err != nil {
+		return fmt.Errorf("sim: generate network %d: %w", i, err)
+	}
+	inst, err := p.Setup.Build(g, netSeed.Split("setup"))
+	if err != nil {
+		return fmt.Errorf("sim: setup network %d: %w", i, err)
+	}
+	for j := 0; j < p.Runs; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil // cooperative cancellation, not a cell failure
+		}
+		runSeed := netSeed.SplitN("run", j)
+		re := inst.SampleRealization(runSeed.Split("realization"))
+		for fi, f := range factories {
+			pol, err := f.New(runSeed.SplitN("policy", fi))
+			if err != nil {
+				return fmt.Errorf("sim: build policy %s: %w", f.Name, err)
+			}
+			var res *core.Result
+			if p.BatchSize > 1 {
+				bp, ok := pol.(core.BatchSelector)
+				if !ok {
+					return fmt.Errorf("sim: policy %s does not support batching", f.Name)
+				}
+				res, err = core.RunBatched(bp, re, p.K, p.BatchSize)
+			} else {
+				res, err = core.Run(pol, re, p.K)
+			}
+			if err != nil {
+				return fmt.Errorf("sim: run %s on network %d run %d: %w", f.Name, i, j, err)
+			}
+			select {
+			case records <- Record{Policy: f.Name, Network: i, Run: j, Result: res}:
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/gen"
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+// testProtocol returns a tiny but fully featured protocol.
+func testProtocol() Protocol {
+	s := osn.DefaultSetup()
+	s.NumCautious = 5
+	return Protocol{
+		Gen:      gen.ErdosRenyi{N: 200, M: 2000},
+		Setup:    s,
+		Networks: 3,
+		Runs:     2,
+		K:        15,
+		Seed:     rng.NewSeed(42, 43),
+		Workers:  2,
+	}
+}
+
+func TestProtocolValidate(t *testing.T) {
+	valid := testProtocol()
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Protocol){
+		func(p *Protocol) { p.Gen = nil },
+		func(p *Protocol) { p.Networks = 0 },
+		func(p *Protocol) { p.Runs = 0 },
+		func(p *Protocol) { p.K = 0 },
+		func(p *Protocol) { p.Workers = -1 },
+	}
+	for i, mutate := range cases {
+		p := testProtocol()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestRunProducesAllCells(t *testing.T) {
+	p := testProtocol()
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	err = Run(context.Background(), p, factories, func(r Record) {
+		recs = append(recs, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Networks * p.Runs * len(factories)
+	if len(recs) != want {
+		t.Fatalf("records = %d, want %d", len(recs), want)
+	}
+	// Every cell present exactly once.
+	seen := map[string]int{}
+	for _, r := range recs {
+		key := r.Policy + "/" + itoa(r.Network) + "/" + itoa(r.Run)
+		seen[key]++
+		if len(r.Result.Steps) == 0 || len(r.Result.Steps) > p.K {
+			t.Errorf("cell %s: %d steps", key, len(r.Result.Steps))
+		}
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Errorf("cell %s seen %d times", k, c)
+		}
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	collectSorted := func(workers int) []float64 {
+		p := testProtocol()
+		p.Workers = workers
+		factories, err := DefaultFactories(core.DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		type key struct {
+			policy       string
+			network, run int
+		}
+		got := map[key]float64{}
+		err = Run(context.Background(), p, factories, func(r Record) {
+			got[key{r.Policy, r.Network, r.Run}] = r.Result.Benefit
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]key, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.policy != b.policy {
+				return a.policy < b.policy
+			}
+			if a.network != b.network {
+				return a.network < b.network
+			}
+			return a.run < b.run
+		})
+		out := make([]float64, 0, len(keys))
+		for _, k := range keys {
+			out = append(out, got[k])
+		}
+		return out
+	}
+	seq := collectSorted(1)
+	par := collectSorted(3)
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("cell %d differs: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRunPairedRealizations(t *testing.T) {
+	// Policies within a cell attack the same realization: a policy that
+	// requests the same users must obtain the same benefit as itself.
+	// Verify pairing by running two identical ABM factories and checking
+	// cell-wise equality.
+	p := testProtocol()
+	abm1, err := ABMFactory(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	abm2, err := ABMFactory(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	abm2.Name = "abm-clone"
+	type key struct{ network, run int }
+	first := map[key]float64{}
+	second := map[key]float64{}
+	err = Run(context.Background(), p, []PolicyFactory{abm1, abm2}, func(r Record) {
+		k := key{r.Network, r.Run}
+		if r.Policy == abm2.Name {
+			second[k] = r.Result.Benefit
+		} else {
+			first[k] = r.Result.Benefit
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range first {
+		if second[k] != v {
+			t.Fatalf("cell %+v: %v vs %v — realizations not paired", k, v, second[k])
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	p := testProtocol()
+	p.Networks = 50 // plenty of work to cancel mid-flight
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	err = Run(ctx, p, factories, func(Record) {
+		if n.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := n.Load(); got >= int64(p.Networks*p.Runs*len(factories)) {
+		t.Errorf("cancellation did not stop the run (%d records)", got)
+	}
+}
+
+func TestRunPropagatesGeneratorError(t *testing.T) {
+	p := testProtocol()
+	p.Gen = gen.ErdosRenyi{N: 3, M: 100} // invalid: too many edges
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(context.Background(), p, factories, func(Record) {})
+	if err == nil {
+		t.Fatal("want generator error")
+	}
+	if !errors.Is(err, gen.ErrBadParam) {
+		t.Errorf("err = %v, want wrapped ErrBadParam", err)
+	}
+}
+
+func TestRunPropagatesSetupError(t *testing.T) {
+	p := testProtocol()
+	p.Gen = gen.ErdosRenyi{N: 50, M: 20} // too sparse for the degree band
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(context.Background(), p, factories, func(Record) {})
+	if !errors.Is(err, osn.ErrNotEnoughCandidates) {
+		t.Errorf("err = %v, want ErrNotEnoughCandidates", err)
+	}
+}
+
+func TestRunNoFactories(t *testing.T) {
+	if err := Run(context.Background(), testProtocol(), nil, func(Record) {}); err == nil {
+		t.Error("want error for empty factories")
+	}
+}
+
+func TestABMFactoryValidation(t *testing.T) {
+	if _, err := ABMFactory(core.Weights{WD: -1}); err == nil {
+		t.Error("want error for invalid weights")
+	}
+}
+
+func TestDefaultFactoriesRoster(t *testing.T) {
+	fs, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, f := range fs {
+		names[f.Name] = true
+		pol, err := f.New(rng.NewSeed(1, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if pol == nil {
+			t.Fatalf("%s: nil policy", f.Name)
+		}
+	}
+	for _, want := range []string{"maxdegree", "pagerank", "random", "abm(wD=0.50,wI=0.50)"} {
+		if !names[want] {
+			t.Errorf("missing factory %q (have %v)", want, names)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/stats"
+)
+
+// Summary aggregates Monte-Carlo records per policy: the final benefit
+// and cautious-friend distributions, and optionally a benefit-vs-k curve
+// sampled at fixed request checkpoints. Use its Collect method as the
+// collect callback of Run. Not safe for concurrent use (Run invokes
+// collect serially).
+type Summary struct {
+	checkpoints []int
+	order       []string
+	final       map[string]*stats.Welford
+	cautious    map[string]*stats.Welford
+	curves      map[string]*stats.Series
+}
+
+// NewSummary creates a summary; checkpoints may be nil to skip curves.
+func NewSummary(checkpoints []int) *Summary {
+	return &Summary{
+		checkpoints: append([]int(nil), checkpoints...),
+		final:       make(map[string]*stats.Welford),
+		cautious:    make(map[string]*stats.Welford),
+		curves:      make(map[string]*stats.Series),
+	}
+}
+
+// Collect folds one record into the summary.
+func (s *Summary) Collect(rec Record) {
+	if _, ok := s.final[rec.Policy]; !ok {
+		s.order = append(s.order, rec.Policy)
+		s.final[rec.Policy] = &stats.Welford{}
+		s.cautious[rec.Policy] = &stats.Welford{}
+		if len(s.checkpoints) > 0 {
+			xs := make([]float64, len(s.checkpoints))
+			for i, c := range s.checkpoints {
+				xs[i] = float64(c)
+			}
+			s.curves[rec.Policy] = stats.NewSeries(rec.Policy, xs)
+		}
+	}
+	s.final[rec.Policy].Add(rec.Result.Benefit)
+	s.cautious[rec.Policy].Add(float64(rec.Result.CautiousFriends))
+	if curve := s.curves[rec.Policy]; curve != nil {
+		for i, c := range s.checkpoints {
+			curve.Add(i, benefitAtStep(rec.Result.Steps, c))
+		}
+	}
+}
+
+// benefitAtStep reads the cumulative benefit after the first c requests
+// (short traces hold their final value; empty traces read 0).
+func benefitAtStep(steps []core.Step, c int) float64 {
+	if len(steps) == 0 {
+		return 0
+	}
+	if c > len(steps) {
+		c = len(steps)
+	}
+	return steps[c-1].BenefitAfter
+}
+
+// Policies returns the policy names in first-seen order.
+func (s *Summary) Policies() []string { return s.order }
+
+// FinalBenefit returns the final-benefit accumulator for a policy (nil if
+// the policy produced no records).
+func (s *Summary) FinalBenefit(policy string) *stats.Welford { return s.final[policy] }
+
+// CautiousFriends returns the cautious-friend accumulator for a policy.
+func (s *Summary) CautiousFriends(policy string) *stats.Welford { return s.cautious[policy] }
+
+// Curve returns the benefit-vs-k series for a policy, or nil when the
+// summary was built without checkpoints.
+func (s *Summary) Curve(policy string) *stats.Series { return s.curves[policy] }
+
+// Curves returns all benefit curves in first-seen policy order.
+func (s *Summary) Curves() []*stats.Series {
+	out := make([]*stats.Series, 0, len(s.order))
+	for _, p := range s.order {
+		if c := s.curves[p]; c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}

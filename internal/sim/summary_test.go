@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"github.com/accu-sim/accu/internal/core"
+)
+
+func TestSummaryAggregates(t *testing.T) {
+	p := testProtocol()
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := NewSummary([]int{5, 10, 15})
+	if err := Run(context.Background(), p, factories, sum.Collect); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Policies()) != len(factories) {
+		t.Fatalf("policies = %v", sum.Policies())
+	}
+	cells := int64(p.Networks * p.Runs)
+	for _, name := range sum.Policies() {
+		fb := sum.FinalBenefit(name)
+		if fb.Count() != cells {
+			t.Errorf("%s: count = %d, want %d", name, fb.Count(), cells)
+		}
+		if fb.Mean() <= 0 {
+			t.Errorf("%s: mean benefit %v", name, fb.Mean())
+		}
+		if cf := sum.CautiousFriends(name); cf.Count() != cells {
+			t.Errorf("%s: cautious count = %d", name, cf.Count())
+		}
+		curve := sum.Curve(name)
+		if curve == nil || curve.Len() != 3 {
+			t.Fatalf("%s: curve missing", name)
+		}
+		// Curves are monotone in k and end at the final benefit.
+		means := curve.Means()
+		for i := 1; i < len(means); i++ {
+			if means[i]+1e-9 < means[i-1] {
+				t.Errorf("%s: curve not monotone: %v", name, means)
+			}
+		}
+		if means[len(means)-1] != fb.Mean() {
+			t.Errorf("%s: final checkpoint %v != final benefit %v", name, means[len(means)-1], fb.Mean())
+		}
+	}
+	if len(sum.Curves()) != len(factories) {
+		t.Errorf("curves = %d", len(sum.Curves()))
+	}
+}
+
+func TestSummaryWithoutCheckpoints(t *testing.T) {
+	p := testProtocol()
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := NewSummary(nil)
+	if err := Run(context.Background(), p, factories, sum.Collect); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sum.Policies() {
+		if sum.Curve(name) != nil {
+			t.Errorf("%s: unexpected curve", name)
+		}
+		if sum.FinalBenefit(name).Count() == 0 {
+			t.Errorf("%s: no records", name)
+		}
+	}
+	if got := sum.Curves(); len(got) != 0 {
+		t.Errorf("curves = %v", got)
+	}
+	if sum.FinalBenefit("nope") != nil {
+		t.Error("unknown policy should return nil")
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a structured result table: what an experiment reports, in a
+// form that renders to fixed-width text and marshals to JSON for external
+// plotting.
+type Table struct {
+	// Name optionally labels the table (e.g. the dataset of one section).
+	Name string `json:"name,omitempty"`
+	// Header holds the column names.
+	Header []string `json:"header"`
+	// Rows holds the data cells, pre-formatted.
+	Rows [][]string `json:"rows"`
+}
+
+// Render renders the table as fixed-width text, prefixed with its name
+// when set.
+func (t Table) Render() string {
+	body := RenderTable(t.Header, t.Rows)
+	if t.Name == "" {
+		return body
+	}
+	return "[" + t.Name + "]\n" + body
+}
+
+// SeriesTable converts aligned series into a Table: first column is the
+// x position, then one "mean ± ci" column per series.
+func SeriesTable(name, xName string, series []*Series) Table {
+	t := Table{Name: name, Header: []string{xName}}
+	if len(series) == 0 {
+		return t
+	}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Label)
+	}
+	for i := 0; i < series[0].Len(); i++ {
+		row := make([]string, 0, len(t.Header))
+		row = append(row, trimFloat(series[0].X(i)))
+		for _, s := range series {
+			acc := s.At(i)
+			row = append(row, formatMeanCI(acc.Mean(), acc.CI95()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// GridTable converts a heat-map grid into a Table of cell means.
+func GridTable(name string, g *Grid) Table {
+	t := Table{Name: name, Header: []string{g.RowLabel + " \\ " + g.ColLabel}}
+	for _, c := range g.Cols() {
+		t.Header = append(t.Header, trimFloat(c))
+	}
+	for i, r := range g.Rows() {
+		row := make([]string, 0, len(t.Header))
+		row = append(row, trimFloat(r))
+		for j := range g.Cols() {
+			row = append(row, fmt.Sprintf("%.1f", g.At(i, j).Mean()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// RenderTable renders rows as a fixed-width plain-text table with a
+// header row, suitable for terminal output of experiment results.
+func RenderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// RenderSeries renders one or more series sharing x positions as a table:
+// the first column is x, then one "mean ± ci" column per series.
+func RenderSeries(xName string, series []*Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	header := make([]string, 0, len(series)+1)
+	header = append(header, xName)
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	rows := make([][]string, 0, series[0].Len())
+	for i := 0; i < series[0].Len(); i++ {
+		row := make([]string, 0, len(header))
+		row = append(row, trimFloat(series[0].X(i)))
+		for _, s := range series {
+			acc := s.At(i)
+			row = append(row, formatMeanCI(acc.Mean(), acc.CI95()))
+		}
+		rows = append(rows, row)
+	}
+	return RenderTable(header, rows)
+}
+
+// RenderGrid renders a heat-map grid as a table of cell means: rows ×
+// columns, with axis labels.
+func RenderGrid(g *Grid) string {
+	header := make([]string, 0, len(g.Cols())+1)
+	header = append(header, fmt.Sprintf("%s \\ %s", g.RowLabel, g.ColLabel))
+	for _, c := range g.Cols() {
+		header = append(header, trimFloat(c))
+	}
+	rows := make([][]string, 0, len(g.Rows()))
+	for i, r := range g.Rows() {
+		row := make([]string, 0, len(header))
+		row = append(row, trimFloat(r))
+		for j := range g.Cols() {
+			row = append(row, fmt.Sprintf("%.1f", g.At(i, j).Mean()))
+		}
+		rows = append(rows, row)
+	}
+	return RenderTable(header, rows)
+}
+
+// formatMeanCI renders "mean ± ci" with precision adapted to magnitude so
+// small fractions (e.g. Fig. 5's request shares) stay visible.
+func formatMeanCI(mean, ci float64) string {
+	if mean != 0 && mean < 1 && mean > -1 {
+		return fmt.Sprintf("%.3f ±%.3f", mean, ci)
+	}
+	return fmt.Sprintf("%.1f ±%.1f", mean, ci)
+}
+
+// trimFloat formats a float compactly (integers without decimals).
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Error("zero value not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", w.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %v", w.Variance())
+	}
+	if math.Abs(w.Std()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("std = %v", w.Std())
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 || w.Variance() != 0 {
+		t.Errorf("mean=%v var=%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		cut := int(split) % (len(xs) + 1)
+		var seq, a, b Welford
+		for _, x := range xs {
+			seq.Add(x)
+		}
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.Count() != seq.Count() {
+			return false
+		}
+		return math.Abs(a.Mean()-seq.Mean()) < 1e-6 &&
+			math.Abs(a.Variance()-seq.Variance()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merge with empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Mean() != a.Mean() || b.Count() != a.Count() {
+		t.Error("merge into empty lost data")
+	}
+}
+
+func TestWelfordCI95(t *testing.T) {
+	var w Welford
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i % 2)) // mean 0.5, std ≈ 0.5025
+	}
+	ci := w.CI95()
+	if ci < 0.09 || ci > 0.11 {
+		t.Errorf("CI95 = %v, want ≈ 0.0985", ci)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("abm", []float64{10, 20, 30})
+	if s.Len() != 3 || s.X(1) != 20 {
+		t.Fatalf("series shape wrong")
+	}
+	s.Add(0, 1)
+	s.Add(0, 3)
+	s.Add(2, 10)
+	if s.At(0).Mean() != 2 {
+		t.Errorf("mean[0] = %v", s.At(0).Mean())
+	}
+	means := s.Means()
+	if means[0] != 2 || means[1] != 0 || means[2] != 10 {
+		t.Errorf("means = %v", means)
+	}
+}
+
+func TestSeriesMerge(t *testing.T) {
+	a := NewSeries("x", []float64{1, 2})
+	b := NewSeries("x", []float64{1, 2})
+	a.Add(0, 2)
+	b.Add(0, 4)
+	b.Add(1, 6)
+	a.Merge(b)
+	if a.At(0).Mean() != 3 || a.At(0).Count() != 2 {
+		t.Errorf("merged mean = %v count = %d", a.At(0).Mean(), a.At(0).Count())
+	}
+	if a.At(1).Mean() != 6 {
+		t.Errorf("merged mean[1] = %v", a.At(1).Mean())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := NewGrid("theta", []float64{0.1, 0.2}, "benefit", []float64{20, 50, 100})
+	g.Add(0, 2, 7)
+	g.Add(1, 0, 3)
+	g.Add(1, 0, 5)
+	if g.At(0, 2).Mean() != 7 {
+		t.Errorf("cell (0,2) = %v", g.At(0, 2).Mean())
+	}
+	if g.At(1, 0).Mean() != 4 {
+		t.Errorf("cell (1,0) = %v", g.At(1, 0).Mean())
+	}
+	if g.At(0, 0).Count() != 0 {
+		t.Error("untouched cell has observations")
+	}
+}
+
+func TestGridMerge(t *testing.T) {
+	a := NewGrid("r", []float64{1}, "c", []float64{1})
+	b := NewGrid("r", []float64{1}, "c", []float64{1})
+	a.Add(0, 0, 10)
+	b.Add(0, 0, 20)
+	a.Merge(b)
+	if a.At(0, 0).Mean() != 15 {
+		t.Errorf("merged = %v", a.At(0, 0).Mean())
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"beta", "22"},
+	})
+	if !strings.Contains(out, "name") || !strings.Contains(out, "alpha") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: every line has the same prefix width before col 2.
+	if !strings.HasPrefix(lines[3], "beta ") {
+		t.Errorf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s1 := NewSeries("abm", []float64{10, 20})
+	s2 := NewSeries("random", []float64{10, 20})
+	s1.Add(0, 5)
+	s1.Add(1, 9)
+	s2.Add(0, 1)
+	s2.Add(1, 2)
+	out := RenderSeries("k", []*Series{s1, s2})
+	for _, want := range []string{"k", "abm", "random", "10", "20", "5.0", "9.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if RenderSeries("k", nil) != "" {
+		t.Error("empty series list should render empty")
+	}
+}
+
+func TestRenderGrid(t *testing.T) {
+	g := NewGrid("theta", []float64{0.1, 0.3}, "Bf", []float64{20, 50})
+	g.Add(0, 0, 1)
+	g.Add(1, 1, 9)
+	out := RenderGrid(g)
+	for _, want := range []string{"theta \\ Bf", "0.1", "0.3", "20", "50", "1.0", "9.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(10) != "10" {
+		t.Errorf("trimFloat(10) = %q", trimFloat(10))
+	}
+	if trimFloat(0.25) != "0.25" {
+		t.Errorf("trimFloat(0.25) = %q", trimFloat(0.25))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	out := tab.Render()
+	if strings.HasPrefix(out, "[") {
+		t.Errorf("unnamed table rendered with name prefix: %q", out)
+	}
+	tab.Name = "section"
+	out = tab.Render()
+	if !strings.HasPrefix(out, "[section]\n") {
+		t.Errorf("named table missing prefix: %q", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "1") {
+		t.Errorf("table body missing: %q", out)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s1 := NewSeries("abm", []float64{10, 20})
+	s1.Add(0, 5)
+	s1.Add(1, 0.25) // sub-1 mean gets 3 decimals
+	tab := SeriesTable("ds", "k", []*Series{s1})
+	if tab.Name != "ds" || len(tab.Header) != 2 || tab.Header[1] != "abm" {
+		t.Fatalf("table = %+v", tab)
+	}
+	if len(tab.Rows) != 2 || tab.Rows[0][0] != "10" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if !strings.Contains(tab.Rows[1][1], "0.250") {
+		t.Errorf("small mean lost precision: %v", tab.Rows[1][1])
+	}
+	empty := SeriesTable("x", "k", nil)
+	if len(empty.Rows) != 0 || len(empty.Header) != 1 {
+		t.Errorf("empty series table = %+v", empty)
+	}
+}
+
+func TestGridTable(t *testing.T) {
+	g := NewGrid("theta", []float64{0.1}, "Bf", []float64{20, 50})
+	g.Add(0, 0, 3)
+	g.Add(0, 1, 7)
+	tab := GridTable("tw", g)
+	if tab.Name != "tw" || len(tab.Header) != 3 {
+		t.Fatalf("table = %+v", tab)
+	}
+	if tab.Rows[0][1] != "3.0" || tab.Rows[0][2] != "7.0" {
+		t.Errorf("rows = %v", tab.Rows)
+	}
+}
+
+func TestFormatMeanCI(t *testing.T) {
+	if got := formatMeanCI(0.123, 0.045); got != "0.123 ±0.045" {
+		t.Errorf("small = %q", got)
+	}
+	if got := formatMeanCI(12.34, 1.2); got != "12.3 ±1.2" {
+		t.Errorf("large = %q", got)
+	}
+	if got := formatMeanCI(0, 0); got != "0.0 ±0.0" {
+		t.Errorf("zero = %q", got)
+	}
+	if got := formatMeanCI(-0.5, 0.1); got != "-0.500 ±0.100" {
+		t.Errorf("negative small = %q", got)
+	}
+}

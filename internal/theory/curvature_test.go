@@ -1,0 +1,143 @@
+package theory
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/accu-sim/accu/internal/osn"
+)
+
+// softSpec builds a spec-based instance with a soft cautious user.
+func softInstance(t *testing.T, qLow, qHigh float64) *osn.Instance {
+	t.Helper()
+	g := buildGraph(t, 3, [][2]int{{0, 2}, {1, 2}})
+	p := osn.Params{
+		Kind:       []osn.Kind{osn.Reckless, osn.Reckless, osn.Cautious},
+		AcceptProb: []float64{1, 1, 0},
+		Theta:      []int{0, 0, 1},
+		BFriend:    []float64{2, 2, 50},
+		BFof:       []float64{1, 1, 1},
+		QLow:       []float64{0, 0, qLow},
+		QHigh:      []float64{1, 1, qHigh},
+	}
+	inst, err := osn.NewInstance(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestCurvatureDelta(t *testing.T) {
+	if d := CurvatureDelta(softInstance(t, 0.1, 1)); math.Abs(d-10) > 1e-12 {
+		t.Errorf("δ = %v, want 10", d)
+	}
+	if d := CurvatureDelta(softInstance(t, 0, 1)); !math.IsInf(d, 1) {
+		t.Errorf("deterministic model δ = %v, want +Inf", d)
+	}
+	// No cautious users: δ = 1.
+	det := makeInstance(t, spec{n: 2})
+	if d := CurvatureDelta(det); d != 1 {
+		t.Errorf("no cautious δ = %v, want 1", d)
+	}
+}
+
+func TestCurvatureBoundPaperExample(t *testing.T) {
+	// §III-B numeric example: δ = 10, k = 20 gives ratio ≈ 0.095.
+	got := CurvatureBound(10, 20)
+	if math.Abs(got-0.0954) > 0.001 {
+		t.Errorf("bound(δ=10, k=20) = %v, want ≈ 0.095", got)
+	}
+	if CurvatureBound(math.Inf(1), 20) != 0 {
+		t.Error("unbounded δ must yield ratio 0")
+	}
+	if CurvatureBound(0, 20) != 0 || CurvatureBound(10, 0) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+}
+
+func TestSoftEnumerationCoinsAndProbabilities(t *testing.T) {
+	inst := softInstance(t, 0.25, 0.75)
+	all, err := EnumerateRealizations(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two coins: low and high for the single cautious user.
+	if len(all) != 4 {
+		t.Fatalf("realizations = %d, want 4", len(all))
+	}
+	var sum float64
+	for _, wr := range all {
+		sum += wr.P
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	// P(low accept) must be 0.25 over realizations.
+	var pLow float64
+	for _, wr := range all {
+		if wr.R.AcceptsCautious(2, false) {
+			pLow += wr.P
+		}
+	}
+	if math.Abs(pLow-0.25) > 1e-12 {
+		t.Errorf("P(low coin) = %v", pLow)
+	}
+}
+
+func TestSoftModelDeltaBelowThreshold(t *testing.T) {
+	// With qLow = 0.5, the expected marginal gain of the cautious user
+	// below threshold is positive: 0.5·B_f = 25 (no FOF yet, and node
+	// 2's neighbors are strangers so their B_fof flows in too).
+	inst := softInstance(t, 0.5, 1)
+	all, err := EnumerateRealizations(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := inst.FixedRealizationCautious(nil, nil, func(int) bool { return true }, nil)
+	d, err := Delta(inst, all, ref, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accept (p=0.5): B_f(2)=50 plus FOF for neighbors 0,1 (+2) = 52.
+	want := 0.5 * 52.0
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("Δ = %v, want %v", d, want)
+	}
+}
+
+func TestRASRRejectsSoftModel(t *testing.T) {
+	inst := softInstance(t, 0.25, 0.75)
+	re := inst.FixedRealization(nil, nil)
+	if _, err := RASR(inst, re); !errors.Is(err, ErrNotDeterministic) {
+		t.Errorf("RASR on soft model: %v", err)
+	}
+	if _, err := BenefitSet(inst, re, []int{0}); !errors.Is(err, ErrNotDeterministic) {
+		t.Errorf("BenefitSet on soft model: %v", err)
+	}
+	if _, err := AdaptiveSubmodularRatio(inst); !errors.Is(err, ErrNotDeterministic) {
+		t.Errorf("ASR on soft model: %v", err)
+	}
+}
+
+func TestSoftModelOptimalVsGreedy(t *testing.T) {
+	inst := softInstance(t, 0.3, 0.9)
+	for k := 1; k <= 3; k++ {
+		opt, err := OptimalValue(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gre, err := GreedyValue(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gre > opt+1e-9 {
+			t.Errorf("k=%d: greedy %v > optimal %v", k, gre, opt)
+		}
+		// δ-based guarantee of §III-B must hold too.
+		delta := CurvatureDelta(inst)
+		if bound := CurvatureBound(delta, k); gre+1e-9 < bound*opt {
+			t.Errorf("k=%d: greedy %v below curvature bound %v·%v", k, gre, bound, opt)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package accu_test
+
+import (
+	"testing"
+
+	accu "github.com/accu-sim/accu"
+)
+
+// TestSoakLargerScale exercises the full pipeline at 10× the usual test
+// scale on every preset — a guard against issues that only appear on
+// bigger graphs (generator degeneration, cautious-selection exhaustion,
+// accounting drift).
+func TestSoakLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, name := range accu.PresetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			preset, err := accu.PresetByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			generator, err := preset.Generator(0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := generator.Generate(accu.NewSeed(91, 92))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantN := int(float64(preset.RefNodes) * 0.1)
+			if g.N() < wantN*9/10 {
+				t.Fatalf("N = %d, want ≈ %d", g.N(), wantN)
+			}
+			setup := accu.DefaultSetup()
+			setup.NumCautious = 20
+			inst, err := setup.Build(g, accu.NewSeed(93, 94))
+			if err != nil {
+				t.Fatal(err)
+			}
+			re := inst.SampleRealization(accu.NewSeed(95, 96))
+			abm, err := accu.NewABM(accu.DefaultWeights())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := accu.Run(abm, re, 150)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Benefit <= 0 || len(res.Steps) != 150 {
+				t.Fatalf("result: benefit=%v steps=%d", res.Benefit, len(res.Steps))
+			}
+			// The journal replays to the identical outcome at scale.
+			st, err := res.Journal.Replay(re)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Benefit() != res.Benefit {
+				t.Fatalf("replay drift: %v vs %v", st.Benefit(), res.Benefit)
+			}
+		})
+	}
+}
