@@ -32,6 +32,7 @@ import (
 	"github.com/accu-sim/accu/internal/exp"
 	"github.com/accu-sim/accu/internal/gen"
 	"github.com/accu-sim/accu/internal/graph"
+	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/osn"
 	"github.com/accu-sim/accu/internal/pagerank"
 	"github.com/accu-sim/accu/internal/rng"
@@ -125,6 +126,10 @@ func NewABM(w Weights, opts ...core.Option) (*ABM, error) { return core.NewABM(w
 // WithFullRescan disables ABM's lazy re-scoring (ablation).
 func WithFullRescan() core.Option { return core.WithFullRescan() }
 
+// WithMetrics records ABM's work counters (heap pops, stale skips,
+// rescores, dirty-set sizes) into the given registry.
+func WithMetrics(reg *Metrics) core.Option { return core.WithMetrics(reg) }
+
 // NewPureGreedy returns the classical adaptive greedy (w_D=1, w_I=0).
 func NewPureGreedy() *ABM { return core.NewPureGreedy() }
 
@@ -171,10 +176,27 @@ type (
 	PolicyFactory = sim.PolicyFactory
 	// Record is the outcome of one (policy, network, run) cell.
 	Record = sim.Record
+	// Progress is one Protocol.OnProgress notification.
+	Progress = sim.Progress
 	// Summary aggregates Monte-Carlo records per policy (final benefit,
 	// cautious friends, benefit-vs-k curves).
 	Summary = sim.Summary
 )
+
+// Observability types, re-exported from the metrics layer.
+type (
+	// Metrics is a registry of atomic counters, gauges and histograms;
+	// attach one via Protocol.Metrics, ExperimentConfig.Metrics or
+	// WithMetrics. A nil *Metrics disables instrumentation at near-zero
+	// cost.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, renderable
+	// as result tables and marshalable to JSON.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.New() }
 
 // NewSummary creates a Monte-Carlo aggregator; pass its Collect method to
 // MonteCarlo. checkpoints may be nil to skip benefit curves.
@@ -187,7 +209,10 @@ func MonteCarlo(ctx context.Context, p Protocol, factories []PolicyFactory, coll
 }
 
 // DefaultFactories returns the §IV policy roster (ABM + baselines).
-func DefaultFactories(w Weights) ([]PolicyFactory, error) { return sim.DefaultFactories(w) }
+// opts (e.g. WithMetrics) are applied to the ABM policy.
+func DefaultFactories(w Weights, opts ...core.Option) ([]PolicyFactory, error) {
+	return sim.DefaultFactories(w, opts...)
+}
 
 // Experiment harness types.
 type (
@@ -208,13 +233,20 @@ func PaperConfig() ExperimentConfig { return exp.PaperConfig() }
 // figure).
 func Experiments() []string { return exp.IDs() }
 
-// RunExperiment executes the experiment with the given id.
+// RunExperiment executes the experiment with the given id. When
+// cfg.Metrics is set, the report embeds a metrics snapshot taken after
+// the run (Report.Metrics).
 func RunExperiment(ctx context.Context, id string, cfg ExperimentConfig) (*Report, error) {
 	runner, ok := exp.Registry()[id]
 	if !ok {
 		return nil, fmt.Errorf("accu: unknown experiment %q (have %v)", id, exp.IDs())
 	}
-	return runner(ctx, cfg)
+	rep, err := runner(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.MetricsSnapshot = cfg.Metrics.Snapshot()
+	return rep, nil
 }
 
 // Theory helpers (exhaustive; tiny instances only).

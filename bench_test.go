@@ -110,7 +110,6 @@ func benchInstance(b *testing.B, scale float64) (*accu.Instance, *accu.Realizati
 // (DESIGN.md): identical selections, different work per acceptance.
 func BenchmarkABMLazyVsFull(b *testing.B) {
 	for _, mode := range []string{"lazy", "full"} {
-		mode := mode
 		b.Run(mode, func(b *testing.B) {
 			inst, re := benchInstance(b, 0.05)
 			_ = inst
@@ -126,6 +125,35 @@ func BenchmarkABMLazyVsFull(b *testing.B) {
 				} else {
 					pol, err = accu.NewABM(accu.DefaultWeights(), accu.WithFullRescan())
 				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := accu.Run(pol, re, 60); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead quantifies the metrics layer's cost on the
+// end-to-end hot path: the same ABM attack with instrumentation disabled
+// (nil registry — the default for every experiment and benchmark, so
+// BenchmarkTable1Datasets and friends measure exactly this path) and
+// with a live registry attached to both the environment and the policy.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, mode := range []string{"disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			inst, re := benchInstance(b, 0.05)
+			var reg *accu.Metrics
+			if mode == "enabled" {
+				reg = accu.NewMetrics()
+				inst.Instrument(reg)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pol, err := accu.NewABM(accu.DefaultWeights(), accu.WithMetrics(reg))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -197,7 +225,6 @@ func BenchmarkMutualCSRvsSet(b *testing.B) {
 // BenchmarkGenerators measures network-generation throughput per preset.
 func BenchmarkGenerators(b *testing.B) {
 	for _, name := range accu.PresetNames() {
-		name := name
 		b.Run(name, func(b *testing.B) {
 			preset, err := accu.PresetByName(name)
 			if err != nil {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	accu "github.com/accu-sim/accu"
+	"github.com/accu-sim/accu/internal/prof"
 )
 
 func main() {
@@ -51,10 +52,20 @@ func run(args []string, out *os.File) error {
 		wi       = fs.Float64("wi", 0.5, "ABM indirect-benefit weight w_I")
 		seed     = fs.Uint64("seed", 20191243, "root random seed")
 		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+
+		metrics    = fs.Bool("metrics", false, "collect engine metrics and print a table after each report")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(prof.Options{CPUProfile: *cpuprofile, MemProfile: *memprofile, PprofAddr: *pprofAddr})
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *list {
 		for _, id := range accu.Experiments() {
 			fmt.Fprintln(out, id)
@@ -82,17 +93,36 @@ func run(args []string, out *os.File) error {
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
+	progressing := false
+	if *verbose {
+		cfg.OnProgress = func(p accu.Progress) {
+			fmt.Fprintf(os.Stderr, "\raccubench: %d/%d cells (%s net %d run %d)   ", p.Done, p.Total, p.Policy, p.Network, p.Run)
+			progressing = p.Done < p.Total
+		}
+	}
+	endProgress := func() {
+		if progressing {
+			fmt.Fprintln(os.Stderr)
+			progressing = false
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var reports []*accu.Report
 	for _, id := range ids {
+		if *metrics {
+			// Fresh registry per experiment so each report's snapshot
+			// covers exactly its own runs.
+			cfg.Metrics = accu.NewMetrics()
+		}
 		start := time.Now()
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "accubench: running %s...\n", id)
 		}
 		rep, err := accu.RunExperiment(ctx, id, cfg)
+		endProgress()
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -104,6 +134,9 @@ func run(args []string, out *os.File) error {
 			continue
 		}
 		fmt.Fprintln(out, rep.String())
+		if snap := rep.Metrics(); !snap.Empty() {
+			fmt.Fprintf(out, "-- %s metrics --\n%s\n", id, snap.Render())
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)

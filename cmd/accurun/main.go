@@ -17,6 +17,7 @@ import (
 	"os"
 
 	accu "github.com/accu-sim/accu"
+	"github.com/accu-sim/accu/internal/prof"
 )
 
 // writeJournal saves the replayable request journal of a run.
@@ -49,6 +50,9 @@ type traceJSON struct {
 	Friends         int         `json:"friends"`
 	CautiousFriends int         `json:"cautiousFriends"`
 	Steps           []accu.Step `json:"steps"`
+
+	// Metrics is the policy/environment metrics snapshot (-metrics).
+	Metrics *accu.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -72,9 +76,23 @@ func run(args []string, out io.Writer) error {
 		verbose  = fs.Bool("v", false, "print every request (default: accepted only)")
 		asJSON   = fs.Bool("json", false, "emit the full trace as JSON instead of text")
 		journal  = fs.String("journal", "", "write the replayable request journal to this file")
+
+		metrics    = fs.Bool("metrics", false, "print policy/environment metrics after the trace")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	stopProf, err := prof.Start(prof.Options{CPUProfile: *cpuprofile, MemProfile: *memprofile, PprofAddr: *pprofAddr})
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	var reg *accu.Metrics
+	if *metrics {
+		reg = accu.NewMetrics()
 	}
 
 	p, err := accu.PresetByName(*preset)
@@ -96,12 +114,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	inst.Instrument(reg)
 	re := inst.SampleRealization(root.Split("realization"))
 
 	var pol accu.Policy
 	switch *policy {
 	case "abm":
-		pol, err = accu.NewABM(accu.Weights{WD: *wd, WI: *wi})
+		pol, err = accu.NewABM(accu.Weights{WD: *wd, WI: *wi}, accu.WithMetrics(reg))
 		if err != nil {
 			return err
 		}
@@ -142,6 +161,7 @@ func run(args []string, out io.Writer) error {
 			Friends:         res.Friends,
 			CautiousFriends: res.CautiousFriends,
 			Steps:           res.Steps,
+			Metrics:         reg.Snapshot(),
 		})
 	}
 
@@ -165,5 +185,8 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nfinal: benefit %.1f, friends %d (%d cautious), %d requests sent\n",
 		res.Benefit, res.Friends, res.CautiousFriends, len(res.Steps))
+	if snap := reg.Snapshot(); !snap.Empty() {
+		fmt.Fprintf(out, "\n-- metrics --\n%s", snap.Render())
+	}
 	return nil
 }

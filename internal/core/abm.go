@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/osn"
 )
 
@@ -27,6 +28,13 @@ type ABM struct {
 	// is already queued this round iff its stamp equals the epoch.
 	dirtyStamp []int32
 	epoch      int32
+
+	// Instruments resolved once by WithMetrics; nil (no-op) by default.
+	// See DESIGN.md "Reading a metrics dump" for what each one means.
+	mHeapPops   *obs.Counter   // heap entries popped in SelectNext
+	mStaleSkips *obs.Counter   // popped entries discarded as stale/requested
+	mRescores   *obs.Counter   // potential re-evaluations
+	mDirtySize  *obs.Histogram // dirty-set size per acceptance
 }
 
 // Option configures an ABM policy.
@@ -35,6 +43,20 @@ type Option func(*ABM)
 // WithFullRescan disables lazy re-scoring (ablation baseline).
 func WithFullRescan() Option {
 	return func(a *ABM) { a.fullRescan = true }
+}
+
+// WithMetrics records the policy's work counters — heap pops, stale-entry
+// skips, rescores and per-acceptance dirty-set sizes — into the given
+// registry. The instruments are shared and atomic, so many concurrent
+// attacks may report into one registry; a nil registry leaves the policy
+// uninstrumented (the counters stay no-ops).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(a *ABM) {
+		a.mHeapPops = reg.Counter("abm.heap_pops")
+		a.mStaleSkips = reg.Counter("abm.stale_skips")
+		a.mRescores = reg.Counter("abm.rescores")
+		a.mDirtySize = reg.Histogram("abm.dirty_size")
+	}
 }
 
 // NewABM builds an ABM policy with the given potential weights.
@@ -98,8 +120,10 @@ func (a *ABM) Init(st *osn.State) error {
 func (a *ABM) SelectNext(st *osn.State) (int, bool) {
 	for a.pq.Len() > 0 {
 		e := a.pq.pop()
+		a.mHeapPops.Inc()
 		u := int(e.user)
 		if st.Requested(u) || e.version != a.version[u] {
+			a.mStaleSkips.Inc()
 			continue
 		}
 		return u, true
@@ -114,11 +138,14 @@ func (a *ABM) Observe(st *osn.State, out osn.Outcome) {
 		return
 	}
 	if a.fullRescan {
+		n := 0
 		for u := range a.scores {
 			if !st.Requested(u) {
 				a.rescore(st, u)
+				n++
 			}
 		}
+		a.mDirtySize.Observe(int64(n))
 		return
 	}
 
@@ -130,11 +157,13 @@ func (a *ABM) Observe(st *osn.State, out osn.Outcome) {
 	g := st.Instance().Graph()
 	re := st.Realization()
 	a.epoch++
+	dirty := 0
 	touch := func(v int) {
 		if a.dirtyStamp[v] == a.epoch {
 			return
 		}
 		a.dirtyStamp[v] = a.epoch
+		dirty++
 		if !st.Requested(v) {
 			a.rescore(st, v)
 		}
@@ -149,10 +178,12 @@ func (a *ABM) Observe(st *osn.State, out osn.Outcome) {
 			touch(int(x))
 		}
 	}
+	a.mDirtySize.Observe(int64(dirty))
 }
 
 // rescore recomputes u's potential and pushes a fresh heap entry.
 func (a *ABM) rescore(st *osn.State, u int) {
+	a.mRescores.Inc()
 	s := Potential(st, u, a.weights)
 	if s == a.scores[u] {
 		return

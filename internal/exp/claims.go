@@ -59,20 +59,12 @@ func claimSummary(ctx context.Context, cfg Config, dataset string, w core.Weight
 	if err != nil {
 		return nil, err
 	}
-	factories, err := sim.DefaultFactories(w)
+	factories, err := sim.DefaultFactories(w, cfg.abmOptions()...)
 	if err != nil {
 		return nil, err
 	}
 	sum := sim.NewSummary(nil)
-	protocol := sim.Protocol{
-		Gen:      g,
-		Setup:    cfg.setup(),
-		Networks: cfg.Networks,
-		Runs:     cfg.Runs,
-		K:        cfg.K,
-		Seed:     cfg.Seed.Split("claims-" + label + "-" + dataset),
-		Workers:  cfg.Workers,
-	}
+	protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("claims-"+label+"-"+dataset))
 	if err := sim.Run(ctx, protocol, factories, sum.Collect); err != nil {
 		return nil, err
 	}
@@ -199,7 +191,7 @@ func paperClaims() []claim {
 				if err != nil {
 					return false, "", err
 				}
-				abm, err := sim.ABMFactory(cfg.Weights)
+				abm, err := sim.ABMFactory(cfg.Weights, cfg.abmOptions()...)
 				if err != nil {
 					return false, "", err
 				}
@@ -208,12 +200,7 @@ func paperClaims() []claim {
 					setup := cfg.setup()
 					setup.ThetaFraction = tf
 					var acc stats.Welford
-					protocol := sim.Protocol{
-						Gen: g, Setup: setup,
-						Networks: cfg.Networks, Runs: cfg.Runs, K: cfg.K,
-						Seed:    cfg.Seed.Split(fmt.Sprintf("claims-theta-%v", tf)),
-						Workers: cfg.Workers,
-					}
+					protocol := cfg.protocol(g, setup, cfg.Seed.Split(fmt.Sprintf("claims-theta-%v", tf)))
 					err := sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 						acc.Add(float64(rec.Result.CautiousFriends))
 					})

@@ -12,8 +12,10 @@ import (
 
 	"github.com/accu-sim/accu/internal/core"
 	"github.com/accu-sim/accu/internal/gen"
+	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/osn"
 	"github.com/accu-sim/accu/internal/rng"
+	"github.com/accu-sim/accu/internal/sim"
 )
 
 // Config scales the experiment protocol. The paper's full protocol is
@@ -38,6 +40,15 @@ type Config struct {
 	Seed rng.Seed
 	// Workers bounds the simulation worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Metrics, when non-nil, collects engine/environment/policy counters
+	// across every Monte-Carlo run of the experiment; snapshot it after
+	// RunExperiment (reports embed the snapshot automatically).
+	Metrics *obs.Registry
+	// OnProgress, when non-nil, is forwarded to every Monte-Carlo run so
+	// long experiments can report liveness. Note an experiment may run
+	// several protocols (one per dataset or grid cell); Done/Total reset
+	// for each.
+	OnProgress func(sim.Progress)
 }
 
 // QuickConfig returns a configuration sized for interactive use
@@ -99,6 +110,33 @@ func (c Config) setup() osn.Setup {
 	s := osn.DefaultSetup()
 	s.NumCautious = c.NumCautious
 	return s
+}
+
+// protocol assembles the Monte-Carlo protocol shared by every
+// experiment, threading the config's metrics registry and progress
+// callback through to the engine. Callers override BatchSize or other
+// fields afterwards as needed.
+func (c Config) protocol(g gen.Generator, s osn.Setup, seed rng.Seed) sim.Protocol {
+	return sim.Protocol{
+		Gen:        g,
+		Setup:      s,
+		Networks:   c.Networks,
+		Runs:       c.Runs,
+		K:          c.K,
+		Seed:       seed,
+		Workers:    c.Workers,
+		Metrics:    c.Metrics,
+		OnProgress: c.OnProgress,
+	}
+}
+
+// abmOptions returns the policy options every experiment applies to its
+// ABM instances (currently just metrics wiring; no-ops when disabled).
+func (c Config) abmOptions() []core.Option {
+	if c.Metrics == nil {
+		return nil
+	}
+	return []core.Option{core.WithMetrics(c.Metrics)}
 }
 
 // generator resolves a preset at the configured scale.

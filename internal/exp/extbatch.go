@@ -28,7 +28,7 @@ func ExtBatch(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	abm, err := sim.ABMFactory(cfg.Weights)
+	abm, err := sim.ABMFactory(cfg.Weights, cfg.abmOptions()...)
 	if err != nil {
 		return nil, err
 	}
@@ -41,16 +41,8 @@ func ExtBatch(ctx context.Context, cfg Config) (*Report, error) {
 			return nil, err
 		}
 		var benefit, cautious stats.Welford
-		protocol := sim.Protocol{
-			Gen:       g,
-			Setup:     cfg.setup(),
-			Networks:  cfg.Networks,
-			Runs:      cfg.Runs,
-			K:         cfg.K,
-			BatchSize: b,
-			Seed:      cfg.Seed.Split("extbatch"), // same seed: paired across batch sizes
-			Workers:   cfg.Workers,
-		}
+		protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("extbatch")) // same seed: paired across batch sizes
+		protocol.BatchSize = b
 		err := sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 			benefit.Add(rec.Result.Benefit)
 			cautious.Add(float64(rec.Result.CautiousFriends))

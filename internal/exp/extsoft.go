@@ -32,7 +32,7 @@ func ExtSoft(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	abm, err := sim.ABMFactory(cfg.Weights)
+	abm, err := sim.ABMFactory(cfg.Weights, cfg.abmOptions()...)
 	if err != nil {
 		return nil, err
 	}
@@ -48,15 +48,7 @@ func ExtSoft(ctx context.Context, cfg Config) (*Report, error) {
 		setup.QHighCautious = cell.qHigh
 
 		var benefit, cautious stats.Welford
-		protocol := sim.Protocol{
-			Gen:      g,
-			Setup:    setup,
-			Networks: cfg.Networks,
-			Runs:     cfg.Runs,
-			K:        cfg.K,
-			Seed:     cfg.Seed.Split(fmt.Sprintf("extsoft-%v-%v", cell.qLow, cell.qHigh)),
-			Workers:  cfg.Workers,
-		}
+		protocol := cfg.protocol(g, setup, cfg.Seed.Split(fmt.Sprintf("extsoft-%v-%v", cell.qLow, cell.qHigh)))
 		err := sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 			benefit.Add(rec.Result.Benefit)
 			cautious.Add(float64(rec.Result.CautiousFriends))

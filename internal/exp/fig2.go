@@ -48,7 +48,7 @@ func Fig2(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	factories, err := sim.DefaultFactories(cfg.Weights)
+	factories, err := sim.DefaultFactories(cfg.Weights, cfg.abmOptions()...)
 	if err != nil {
 		return nil, err
 	}
@@ -61,15 +61,7 @@ func Fig2(ctx context.Context, cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		protocol := sim.Protocol{
-			Gen:      g,
-			Setup:    cfg.setup(),
-			Networks: cfg.Networks,
-			Runs:     cfg.Runs,
-			K:        cfg.K,
-			Seed:     cfg.Seed.Split("fig2-" + name),
-			Workers:  cfg.Workers,
-		}
+		protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("fig2-"+name))
 		sum := sim.NewSummary(cps)
 		if err := sim.Run(ctx, protocol, factories, sum.Collect); err != nil {
 			return nil, fmt.Errorf("exp: fig2 %s: %w", name, err)

@@ -18,7 +18,7 @@ func Fig3(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	abm, err := sim.ABMFactory(cfg.Weights)
+	abm, err := sim.ABMFactory(cfg.Weights, cfg.abmOptions()...)
 	if err != nil {
 		return nil, err
 	}
@@ -38,15 +38,7 @@ func Fig3(ctx context.Context, cfg Config) (*Report, error) {
 		total := stats.NewSeries("avg-gain", xs)
 		cautious := stats.NewSeries("from-cautious", xs)
 		reckless := stats.NewSeries("from-reckless", xs)
-		protocol := sim.Protocol{
-			Gen:      g,
-			Setup:    cfg.setup(),
-			Networks: cfg.Networks,
-			Runs:     cfg.Runs,
-			K:        cfg.K,
-			Seed:     cfg.Seed.Split("fig3-" + name),
-			Workers:  cfg.Workers,
-		}
+		protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("fig3-"+name))
 		err = sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 			lo := 0
 			for i, hi := range cps {

@@ -43,7 +43,7 @@ func Fig4(ctx context.Context, cfg Config) (*Report, error) {
 	factories := make([]sim.PolicyFactory, 0, len(xs))
 	for _, wi := range xs {
 		w := core.Weights{WD: 1 - wi, WI: wi}
-		f, err := sim.ABMFactory(w)
+		f, err := sim.ABMFactory(w, cfg.abmOptions()...)
 		if err != nil {
 			return nil, err
 		}
@@ -55,15 +55,7 @@ func Fig4(ctx context.Context, cfg Config) (*Report, error) {
 		index[f.Name] = i
 	}
 
-	protocol := sim.Protocol{
-		Gen:      g,
-		Setup:    cfg.setup(),
-		Networks: cfg.Networks,
-		Runs:     cfg.Runs,
-		K:        cfg.K,
-		Seed:     cfg.Seed.Split("fig4-" + dataset),
-		Workers:  cfg.Workers,
-	}
+	protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("fig4-"+dataset))
 	err = sim.Run(ctx, protocol, factories, func(rec sim.Record) {
 		i := index[rec.Policy]
 		benefit.Add(i, rec.Result.Benefit)
@@ -121,7 +113,7 @@ func Fig5(ctx context.Context, cfg Config) (*Report, error) {
 	series := make(map[string]*stats.Series, len(sweep))
 	ordered := make([]*stats.Series, 0, len(sweep))
 	for _, wi := range sweep {
-		f, err := sim.ABMFactory(core.Weights{WD: 1 - wi, WI: wi})
+		f, err := sim.ABMFactory(core.Weights{WD: 1 - wi, WI: wi}, cfg.abmOptions()...)
 		if err != nil {
 			return nil, err
 		}
@@ -132,15 +124,7 @@ func Fig5(ctx context.Context, cfg Config) (*Report, error) {
 		ordered = append(ordered, s)
 	}
 
-	protocol := sim.Protocol{
-		Gen:      g,
-		Setup:    cfg.setup(),
-		Networks: cfg.Networks,
-		Runs:     cfg.Runs,
-		K:        cfg.K,
-		Seed:     cfg.Seed.Split("fig5-" + dataset),
-		Workers:  cfg.Workers,
-	}
+	protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("fig5-"+dataset))
 	err = sim.Run(ctx, protocol, factories, func(rec sim.Record) {
 		s := series[rec.Policy]
 		lo := 0

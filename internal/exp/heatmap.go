@@ -26,7 +26,7 @@ func heatmap(ctx context.Context, cfg Config, metric func(rec sim.Record) float6
 	if err != nil {
 		return nil, "", err
 	}
-	abm, err := sim.ABMFactory(cfg.Weights)
+	abm, err := sim.ABMFactory(cfg.Weights, cfg.abmOptions()...)
 	if err != nil {
 		return nil, "", err
 	}
@@ -40,15 +40,7 @@ func heatmap(ctx context.Context, cfg Config, metric func(rec sim.Record) float6
 			setup := cfg.setup()
 			setup.ThetaFraction = tf
 			setup.BFriendCautious = bf
-			protocol := sim.Protocol{
-				Gen:      g,
-				Setup:    setup,
-				Networks: cfg.Networks,
-				Runs:     cfg.Runs,
-				K:        cfg.K,
-				Seed:     cfg.Seed.Split(fmt.Sprintf("heat-%s-%v-%v", dataset, tf, bf)),
-				Workers:  cfg.Workers,
-			}
+			protocol := cfg.protocol(g, setup, cfg.Seed.Split(fmt.Sprintf("heat-%s-%v-%v", dataset, tf, bf)))
 			err := sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 				grid.Add(i, j, metric(rec))
 			})

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/stats"
 )
 
@@ -23,7 +24,14 @@ type Report struct {
 	Rendered string `json:"-"`
 	// Notes lists observed qualitative shapes (who wins, crossovers).
 	Notes []string `json:"notes,omitempty"`
+	// MetricsSnapshot holds the engine/environment/policy metrics
+	// captured after the experiment when Config.Metrics was set.
+	MetricsSnapshot *obs.Snapshot `json:"metrics,omitempty"`
 }
+
+// Metrics returns the metrics snapshot captured for this report, or nil
+// when the experiment ran without a registry.
+func (r *Report) Metrics() *obs.Snapshot { return r.MetricsSnapshot }
 
 // newReport assembles a report, deriving the text rendering from the
 // structured tables.

@@ -256,7 +256,6 @@ func TestPresetScaleValidation(t *testing.T) {
 func TestPresetCalibration(t *testing.T) {
 	const scale = 0.04
 	for _, name := range PresetNames() {
-		name := name
 		t.Run(name, func(t *testing.T) {
 			p, err := PresetByName(name)
 			if err != nil {

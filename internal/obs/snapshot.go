@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/accu-sim/accu/internal/stats"
+)
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot: count, sum and the
+// derived shape statistics. P50/P90/P99 are power-of-two bucket
+// estimates (exact within 2×).
+type HistogramValue struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// sorted by name — what experiment reports embed and the CLIs render.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered instrument.
+// Returns nil on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Mean:  h.Mean(),
+			Min:   h.Min(),
+			Max:   h.Max(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	return s
+}
+
+// Empty reports whether the snapshot holds no instruments.
+func (s *Snapshot) Empty() bool {
+	return s == nil || (len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0)
+}
+
+// Tables renders the snapshot as fixed-width result tables (one per
+// instrument kind), ready for stats.Table.Render.
+func (s *Snapshot) Tables() []stats.Table {
+	if s.Empty() {
+		return nil
+	}
+	var out []stats.Table
+	if len(s.Counters) > 0 {
+		t := stats.Table{Name: "counters", Header: []string{"name", "value"}}
+		for _, c := range s.Counters {
+			t.Rows = append(t.Rows, []string{c.Name, fmt.Sprintf("%d", c.Value)})
+		}
+		out = append(out, t)
+	}
+	if len(s.Gauges) > 0 {
+		t := stats.Table{Name: "gauges", Header: []string{"name", "value"}}
+		for _, g := range s.Gauges {
+			t.Rows = append(t.Rows, []string{g.Name, fmt.Sprintf("%.3f", g.Value)})
+		}
+		out = append(out, t)
+	}
+	if len(s.Histograms) > 0 {
+		t := stats.Table{Name: "histograms", Header: []string{"name", "count", "mean", "min", "p50", "p90", "p99", "max", "sum"}}
+		for _, h := range s.Histograms {
+			isTime := strings.HasSuffix(h.Name, "_ns")
+			t.Rows = append(t.Rows, []string{
+				h.Name,
+				fmt.Sprintf("%d", h.Count),
+				formatVal(h.Mean, isTime),
+				formatVal(float64(h.Min), isTime),
+				formatVal(float64(h.P50), isTime),
+				formatVal(float64(h.P90), isTime),
+				formatVal(float64(h.P99), isTime),
+				formatVal(float64(h.Max), isTime),
+				formatVal(float64(h.Sum), isTime),
+			})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Render renders every snapshot table as plain text.
+func (s *Snapshot) Render() string {
+	var sb strings.Builder
+	for i, t := range s.Tables() {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(t.Render())
+	}
+	return sb.String()
+}
+
+// formatVal renders a histogram statistic: nanosecond-named series
+// ("*_ns") as human durations, everything else as a plain number.
+func formatVal(v float64, isTime bool) string {
+	if isTime {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"github.com/accu-sim/accu/internal/graph"
+	"github.com/accu-sim/accu/internal/obs"
 )
 
 // Kind classifies a user by acceptance model.
@@ -65,6 +66,31 @@ type Instance struct {
 	bFof       []float64 // B_fof(u)
 
 	cautious []int // sorted list of cautious users
+
+	// Instruments resolved by Instrument; nil (no-op) by default. They
+	// are atomic and shared by every State and Realization of this
+	// instance, so concurrent attacks may report into one registry.
+	mSampleNS      *obs.Histogram // SampleRealization wall time
+	mRevealNS      *obs.Histogram // per-acceptance neighborhood-reveal (mutual-count kernel) time
+	mRequests      *obs.Counter   // friend requests sent
+	mAccepts       *obs.Counter   // requests accepted
+	mEdgesRevealed *obs.Counter   // realized edges revealed by acceptances
+}
+
+// Instrument resolves the instance's environment metrics — realization
+// sampling time, the per-acceptance mutual-count reveal kernel, and
+// request/accept counters — against the given registry. Call it before
+// the instance is shared across goroutines (the simulator does so right
+// after Setup.Build); a nil registry leaves the instance uninstrumented.
+func (in *Instance) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	in.mSampleNS = reg.Histogram("osn.sample_realization_ns")
+	in.mRevealNS = reg.Histogram("osn.reveal_ns")
+	in.mRequests = reg.Counter("osn.requests")
+	in.mAccepts = reg.Counter("osn.accepts")
+	in.mEdgesRevealed = reg.Counter("osn.edges_revealed")
 }
 
 // Params bundles the per-node and per-edge attributes used to build an

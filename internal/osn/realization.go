@@ -1,6 +1,7 @@
 package osn
 
 import (
+	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/rng"
 )
 
@@ -26,6 +27,7 @@ type Realization struct {
 // exists independently with probability p(u, v) and each reckless user u
 // accepts with probability q(u).
 func (in *Instance) SampleRealization(seed rng.Seed) *Realization {
+	defer obs.StartSpan(in.mSampleNS).End()
 	r := seed.Split("osn-realization").Rand()
 	re := &Realization{
 		inst:        in,

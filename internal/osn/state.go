@@ -3,6 +3,8 @@ package osn
 import (
 	"errors"
 	"fmt"
+
+	"github.com/accu-sim/accu/internal/obs"
 )
 
 // Errors returned by State.Request.
@@ -80,6 +82,7 @@ func (st *State) Request(u int) (Outcome, error) {
 	}
 	st.requested[u] = true
 	st.requests++
+	st.inst.mRequests.Inc()
 
 	out := Outcome{User: u, Cautious: st.inst.kind[u] == Cautious}
 	switch st.inst.kind[u] {
@@ -109,18 +112,26 @@ func (st *State) Request(u int) (Outcome, error) {
 	}
 
 	// Reveal N(u): every realized neighbor v gains one mutual friend
-	// with the attacker; non-friends entering FOF yield B_fof(v).
+	// with the attacker; non-friends entering FOF yield B_fof(v). This
+	// loop is the incremental mutual-count kernel, timed when the
+	// instance is instrumented.
+	st.inst.mAccepts.Inc()
+	span := obs.StartSpan(st.inst.mRevealNS)
 	base := st.inst.g.AdjBase(u)
+	revealed := int64(0)
 	for i, v := range st.inst.g.Neighbors(u) {
 		if !st.real.edgeExists[base+i] {
 			continue
 		}
+		revealed++
 		if st.mutual[v] == 0 && !st.friend[v] {
 			gain += st.inst.bFof[v]
 			st.fofCount++
 		}
 		st.mutual[v]++
 	}
+	span.End()
+	st.inst.mEdgesRevealed.Add(revealed)
 
 	st.benefit += gain
 	out.Gain = gain

@@ -1,0 +1,75 @@
+// Package prof wires the standard Go profilers into the CLIs: CPU and
+// heap profile files plus an optional net/http/pprof server, behind one
+// Start/stop pair shared by accubench and accurun.
+package prof
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	// Register the /debug/pprof handlers on the default mux used by the
+	// -pprof listener.
+	_ "net/http/pprof"
+)
+
+// Options selects which profilers to enable; zero values disable each.
+type Options struct {
+	// CPUProfile is the file to write a CPU profile to.
+	CPUProfile string
+	// MemProfile is the file to write a heap profile to at stop time.
+	MemProfile string
+	// PprofAddr is a listen address (e.g. "localhost:6060") to serve
+	// net/http/pprof on for live inspection.
+	PprofAddr string
+}
+
+// Start enables the configured profilers and returns a stop function to
+// defer. The stop function finishes the CPU profile and writes the heap
+// profile; errors there are reported to stderr since callers are already
+// exiting. The pprof server runs until process exit.
+func Start(o Options) (stop func(), err error) {
+	var cpuFile *os.File
+	if o.CPUProfile != "" {
+		cpuFile, err = os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	if o.PprofAddr != "" {
+		ln := o.PprofAddr
+		go func() {
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: pprof server on %s: %v\n", ln, err)
+			}
+		}()
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: close cpu profile: %v\n", err)
+			}
+		}
+		if o.MemProfile != "" {
+			f, err := os.Create(o.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: create mem profile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: write mem profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: close mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,47 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartDisabledIsNoOp(t *testing.T) {
+	stop, err := Start(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(Options{CPUProfile: cpu, MemProfile: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(Options{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}); err == nil {
+		t.Fatal("want error for uncreatable cpu profile path")
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/accu-sim/accu/internal/core"
 	"github.com/accu-sim/accu/internal/gen"
+	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/osn"
 	"github.com/accu-sim/accu/internal/rng"
 )
@@ -38,6 +40,27 @@ type Protocol struct {
 	Seed rng.Seed
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives engine instrumentation: per-cell
+	// and per-network wall time, worker busy time and utilisation, and —
+	// via Instance.Instrument — the osn environment counters. ABM policy
+	// counters are separate; see core.WithMetrics.
+	Metrics *obs.Registry
+	// OnProgress, when non-nil, is invoked serially (same goroutine as
+	// collect, no locking needed) after every completed cell, so long
+	// experiments can report liveness. Cells cancelled mid-flight are
+	// not reported; Done reaches Total only on a full, error-free run.
+	OnProgress func(Progress)
+}
+
+// Progress is one OnProgress notification.
+type Progress struct {
+	// Done is the number of cells completed so far; Total the grid size
+	// Networks × Runs × len(factories).
+	Done, Total int
+	// Policy is the completed cell's policy name.
+	Policy string
+	// Network and Run locate the completed cell in the Monte-Carlo grid.
+	Network, Run int
 }
 
 // Validate checks the protocol is runnable.
@@ -69,8 +92,9 @@ type PolicyFactory struct {
 	New func(runSeed rng.Seed) (core.Policy, error)
 }
 
-// ABMFactory builds an ABM policy factory with the given weights.
-func ABMFactory(w Weights) (PolicyFactory, error) {
+// ABMFactory builds an ABM policy factory with the given weights. opts
+// (e.g. core.WithMetrics) are applied to every policy instance built.
+func ABMFactory(w Weights, opts ...core.Option) (PolicyFactory, error) {
 	if err := w.Validate(); err != nil {
 		return PolicyFactory{}, err
 	}
@@ -81,7 +105,7 @@ func ABMFactory(w Weights) (PolicyFactory, error) {
 	return PolicyFactory{
 		Name: probe.Name(),
 		New: func(rng.Seed) (core.Policy, error) {
-			return core.NewABM(w)
+			return core.NewABM(w, opts...)
 		},
 	}, nil
 }
@@ -90,9 +114,10 @@ func ABMFactory(w Weights) (PolicyFactory, error) {
 type Weights = core.Weights
 
 // DefaultFactories returns the §IV policy roster: ABM with the given
-// weights plus the MaxDegree, PageRank and Random baselines.
-func DefaultFactories(w Weights) ([]PolicyFactory, error) {
-	abm, err := ABMFactory(w)
+// weights plus the MaxDegree, PageRank and Random baselines. opts are
+// applied to the ABM policy only.
+func DefaultFactories(w Weights, opts ...core.Option) ([]PolicyFactory, error) {
+	abm, err := ABMFactory(w, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -114,12 +139,43 @@ type Record struct {
 	Result *core.Result
 }
 
+// engineMetrics holds the runner's instruments, resolved once per Run so
+// the per-cell hot path records through plain pointers (all nil — and
+// therefore no-ops — when Protocol.Metrics is unset).
+type engineMetrics struct {
+	cellNS     *obs.Histogram // one policy execution (core.Run/RunBatched)
+	networkNS  *obs.Histogram // generate + setup + all cells of one network
+	cells      *obs.Counter   // completed cells
+	workerBusy *obs.Counter   // summed worker busy nanoseconds
+	wallNS     *obs.Histogram // wall time, one observation per Run call
+	workers    *obs.Gauge     // resolved pool size
+	// utilizationPct observes each Run's pool utilisation — this run's
+	// busy time over wall × workers — in percent (100 = fully busy).
+	utilizationPct *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	if reg == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		cellNS:         reg.Histogram("sim.cell_ns"),
+		networkNS:      reg.Histogram("sim.network_ns"),
+		cells:          reg.Counter("sim.cells"),
+		workerBusy:     reg.Counter("sim.worker_busy_ns"),
+		wallNS:         reg.Histogram("sim.wall_ns"),
+		workers:        reg.Gauge("sim.workers"),
+		utilizationPct: reg.Histogram("sim.worker_utilization_pct"),
+	}
+}
+
 // Run executes the protocol. Every policy in factories attacks the same
 // realization within a cell, so policies are compared on identical ground
 // truth. collect is invoked serially (no locking needed by the caller)
 // but in nondeterministic cell order; the per-cell randomness itself is
 // fully deterministic in Protocol.Seed. Run stops at the first error or
-// when ctx is cancelled.
+// when ctx is cancelled; a worker error always wins over the context
+// cancellation it triggers.
 func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect func(Record)) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -134,13 +190,30 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 	if workers > p.Networks {
 		workers = p.Networks
 	}
+	em := newEngineMetrics(p.Metrics)
+	em.workers.Set(float64(workers))
+	// One registry may span several Run calls (an experiment per dataset),
+	// so utilisation is computed from this run's busy-time delta.
+	busyBefore := em.workerBusy.Value()
+	start := time.Now()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// firstErr captures the first worker failure. It is published before
+	// cancel() and read after the worker pool drains, so every exit path
+	// below prefers it over the secondary ctx.Err() the failure causes.
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+
 	networkIdx := make(chan int)
 	records := make(chan Record)
-	errc := make(chan error, workers)
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -148,12 +221,11 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 		go func() {
 			defer wg.Done()
 			for i := range networkIdx {
-				if err := runNetwork(ctx, p, factories, i, records); err != nil {
-					select {
-					case errc <- err:
-					default:
-					}
-					cancel()
+				busyStart := time.Now()
+				err := runNetwork(ctx, p, factories, i, records, em)
+				em.workerBusy.Add(int64(time.Since(busyStart)))
+				if err != nil {
+					fail(err)
 					return
 				}
 			}
@@ -176,20 +248,33 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 		close(records)
 	}()
 
+	done, total := 0, p.Networks*p.Runs*len(factories)
 	for rec := range records {
 		collect(rec)
+		done++
+		if p.OnProgress != nil {
+			p.OnProgress(Progress{Done: done, Total: total, Policy: rec.Policy, Network: rec.Network, Run: rec.Run})
+		}
 	}
-	select {
-	case err := <-errc:
-		return err
-	default:
+
+	wall := time.Since(start)
+	em.wallNS.Observe(int64(wall))
+	if wall > 0 && workers > 0 {
+		busy := em.workerBusy.Value() - busyBefore
+		em.utilizationPct.Observe(int64(100 * float64(busy) / (float64(wall) * float64(workers))))
+	}
+	// The records channel closed, so the pool has drained and firstErr —
+	// written before any cancel() — is stable: prefer it on every path.
+	if firstErr != nil {
+		return firstErr
 	}
 	return ctx.Err()
 }
 
 // runNetwork generates network i, builds its instance, and executes all
 // (run, policy) cells.
-func runNetwork(ctx context.Context, p Protocol, factories []PolicyFactory, i int, records chan<- Record) error {
+func runNetwork(ctx context.Context, p Protocol, factories []PolicyFactory, i int, records chan<- Record, em engineMetrics) error {
+	defer obs.StartSpan(em.networkNS).End()
 	netSeed := p.Seed.SplitN("network", i)
 	g, err := p.Gen.Generate(netSeed)
 	if err != nil {
@@ -199,6 +284,7 @@ func runNetwork(ctx context.Context, p Protocol, factories []PolicyFactory, i in
 	if err != nil {
 		return fmt.Errorf("sim: setup network %d: %w", i, err)
 	}
+	inst.Instrument(p.Metrics)
 	for j := 0; j < p.Runs; j++ {
 		if err := ctx.Err(); err != nil {
 			return nil // cooperative cancellation, not a cell failure
@@ -210,6 +296,7 @@ func runNetwork(ctx context.Context, p Protocol, factories []PolicyFactory, i in
 			if err != nil {
 				return fmt.Errorf("sim: build policy %s: %w", f.Name, err)
 			}
+			cell := obs.StartSpan(em.cellNS)
 			var res *core.Result
 			if p.BatchSize > 1 {
 				bp, ok := pol.(core.BatchSelector)
@@ -220,9 +307,11 @@ func runNetwork(ctx context.Context, p Protocol, factories []PolicyFactory, i in
 			} else {
 				res, err = core.Run(pol, re, p.K)
 			}
+			cell.End()
 			if err != nil {
 				return fmt.Errorf("sim: run %s on network %d run %d: %w", f.Name, i, j, err)
 			}
+			em.cells.Inc()
 			select {
 			case records <- Record{Policy: f.Name, Network: i, Run: j, Result: res}:
 			case <-ctx.Done():

@@ -9,6 +9,7 @@ import (
 
 	"github.com/accu-sim/accu/internal/core"
 	"github.com/accu-sim/accu/internal/gen"
+	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/osn"
 	"github.com/accu-sim/accu/internal/rng"
 )
@@ -190,6 +191,116 @@ func TestRunContextCancellation(t *testing.T) {
 	}
 	if got := n.Load(); got >= int64(p.Networks*p.Runs*len(factories)) {
 		t.Errorf("cancellation did not stop the run (%d records)", got)
+	}
+}
+
+// TestRunPrefersWorkerErrorOverCancellation pins the error-ordering
+// contract: when a worker failure and a context cancellation race — here
+// forced by a factory that cancels the external context right before
+// failing — Run must surface the worker error, never the secondary
+// context.Canceled.
+func TestRunPrefersWorkerErrorOverCancellation(t *testing.T) {
+	p := testProtocol()
+	sentinel := errors.New("factory exploded")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	broken := PolicyFactory{
+		Name: "broken",
+		New: func(rng.Seed) (core.Policy, error) {
+			cancel() // external cancellation arrives with the failure
+			return nil, sentinel
+		},
+	}
+	err := Run(ctx, p, []PolicyFactory{broken}, func(Record) {})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the worker error %v", err, sentinel)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v leaked the cancellation instead of the worker error", err)
+	}
+}
+
+// TestRunOnProgressDelivery counts progress callbacks: exactly one per
+// cell, serially, with monotonically increasing Done reaching Total.
+func TestRunOnProgressDelivery(t *testing.T) {
+	p := testProtocol()
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := p.Networks * p.Runs * len(factories)
+	var events []Progress
+	p.OnProgress = func(pr Progress) { events = append(events, pr) }
+	collected := 0
+	if err := Run(context.Background(), p, factories, func(Record) { collected++ }); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != total {
+		t.Fatalf("got %d progress events, want %d", len(events), total)
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 {
+			t.Fatalf("event %d: Done = %d, want %d", i, ev.Done, i+1)
+		}
+		if ev.Total != total {
+			t.Fatalf("event %d: Total = %d, want %d", i, ev.Total, total)
+		}
+		if ev.Policy == "" {
+			t.Fatalf("event %d: empty policy name", i)
+		}
+	}
+	if collected != total {
+		t.Fatalf("collect saw %d records, want %d", collected, total)
+	}
+}
+
+// TestRunRecordsMetrics checks that an attached registry receives the
+// engine counters, the osn environment counters and the ABM policy
+// counters for a full run.
+func TestRunRecordsMetrics(t *testing.T) {
+	p := testProtocol()
+	reg := obs.New()
+	p.Metrics = reg
+	factories, err := DefaultFactories(core.DefaultWeights(), core.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(context.Background(), p, factories, func(Record) {}); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(p.Networks * p.Runs * len(factories))
+	if got := reg.Counter("sim.cells").Value(); got != total {
+		t.Errorf("sim.cells = %d, want %d", got, total)
+	}
+	if got := reg.Histogram("sim.cell_ns").Count(); got != total {
+		t.Errorf("sim.cell_ns count = %d, want %d", got, total)
+	}
+	if got := reg.Histogram("sim.network_ns").Count(); got != int64(p.Networks) {
+		t.Errorf("sim.network_ns count = %d, want %d", got, p.Networks)
+	}
+	if got := reg.Histogram("osn.sample_realization_ns").Count(); got != int64(p.Networks*p.Runs) {
+		t.Errorf("osn.sample_realization_ns count = %d, want %d", got, p.Networks*p.Runs)
+	}
+	for _, name := range []string{"osn.requests", "osn.accepts", "osn.edges_revealed", "abm.heap_pops", "abm.rescores"} {
+		if got := reg.Counter(name).Value(); got <= 0 {
+			t.Errorf("%s = %d, want > 0", name, got)
+		}
+	}
+	if got := reg.Gauge("sim.workers").Value(); got != float64(p.Workers) {
+		t.Errorf("sim.workers = %v, want %d", got, p.Workers)
+	}
+	if got := reg.Histogram("sim.worker_utilization_pct").Count(); got != 1 {
+		t.Errorf("sim.worker_utilization_pct count = %d, want 1 (one Run call)", got)
+	}
+	if util := reg.Histogram("sim.worker_utilization_pct").Max(); util <= 0 {
+		t.Errorf("sim.worker_utilization_pct = %v, want > 0", util)
+	}
+	if got := reg.Histogram("sim.wall_ns").Count(); got != 1 {
+		t.Errorf("sim.wall_ns count = %d, want 1", got)
+	}
+	// Requests are bounded by the budget: every cell sends at most K.
+	if reqs := reg.Counter("osn.requests").Value(); reqs > total*int64(p.K) {
+		t.Errorf("osn.requests = %d exceeds cells×K = %d", reqs, total*int64(p.K))
 	}
 }
 

@@ -1,0 +1,86 @@
+package accu_test
+
+// Facade-level coverage for the observability layer: experiment reports
+// embed a metrics snapshot when a registry is attached, progress
+// callbacks flow through ExperimentConfig, and the snapshot marshals
+// with the report JSON.
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	accu "github.com/accu-sim/accu"
+)
+
+func TestRunExperimentMetricsAndProgress(t *testing.T) {
+	cfg := accu.ExperimentConfig{
+		Scale:       0.02,
+		Networks:    1,
+		Runs:        1,
+		K:           20,
+		NumCautious: 10,
+		Datasets:    []string{"slashdot"},
+		Seed:        accu.NewSeed(7, 8),
+		Metrics:     accu.NewMetrics(),
+	}
+	var events int
+	var lastDone, lastTotal int
+	cfg.OnProgress = func(p accu.Progress) {
+		events++
+		lastDone, lastTotal = p.Done, p.Total
+	}
+	rep, err := accu.RunExperiment(context.Background(), "fig2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Metrics()
+	if snap.Empty() {
+		t.Fatal("report metrics snapshot is empty with a registry attached")
+	}
+	var cells int64
+	for _, c := range snap.Counters {
+		if c.Name == "sim.cells" {
+			cells = c.Value
+		}
+	}
+	// fig2 on one dataset runs Networks × Runs × 4 policies cells.
+	if want := int64(cfg.Networks * cfg.Runs * 4); cells != want {
+		t.Errorf("sim.cells = %d, want %d", cells, want)
+	}
+	if events != 4 || lastDone != 4 || lastTotal != 4 {
+		t.Errorf("progress: events=%d lastDone=%d lastTotal=%d, want 4/4/4", events, lastDone, lastTotal)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Metrics *accu.MetricsSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Metrics == nil || len(decoded.Metrics.Counters) == 0 {
+		t.Error("metrics snapshot not embedded in report JSON")
+	}
+}
+
+func TestRunExperimentWithoutMetrics(t *testing.T) {
+	cfg := accu.ExperimentConfig{
+		Scale:       0.02,
+		Networks:    1,
+		Runs:        1,
+		K:           10,
+		NumCautious: 10,
+		Datasets:    []string{"slashdot"},
+		Seed:        accu.NewSeed(9, 10),
+	}
+	rep, err := accu.RunExperiment(context.Background(), "table1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics() != nil {
+		t.Error("Metrics() should be nil when no registry was attached")
+	}
+}

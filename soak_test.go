@@ -15,7 +15,6 @@ func TestSoakLargerScale(t *testing.T) {
 		t.Skip("soak test")
 	}
 	for _, name := range accu.PresetNames() {
-		name := name
 		t.Run(name, func(t *testing.T) {
 			preset, err := accu.PresetByName(name)
 			if err != nil {
