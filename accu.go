@@ -203,7 +203,11 @@ func NewMetrics() *Metrics { return obs.New() }
 func NewSummary(checkpoints []int) *Summary { return sim.NewSummary(checkpoints) }
 
 // MonteCarlo executes a Monte-Carlo protocol over a worker pool, invoking
-// collect serially for every (policy, network, run) cell.
+// collect serially for every (policy, network, run) cell. Work is
+// scheduled at (network, run) cell granularity — network instances are
+// generated once and shared — so even a Networks=1 grid parallelizes
+// across its runs, and the record stream is identical for every
+// Protocol.Workers setting.
 func MonteCarlo(ctx context.Context, p Protocol, factories []PolicyFactory, collect func(Record)) error {
 	return sim.Run(ctx, p, factories, collect)
 }

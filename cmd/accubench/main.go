@@ -93,6 +93,13 @@ func run(args []string, out *os.File) error {
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
+	// The pool is sized per (network, run) cell; surface a clamp up front
+	// instead of silently running with fewer workers than asked.
+	probe := accu.Protocol{Networks: *networks, Runs: *runs, Workers: *workers}
+	if resolved, clamped := probe.ResolveWorkers(); clamped {
+		fmt.Fprintf(os.Stderr, "accubench: -workers %d exceeds the %d networks × %d runs cell grid; running with %d workers\n",
+			*workers, *networks, *runs, resolved)
+	}
 	progressing := false
 	if *verbose {
 		cfg.OnProgress = func(p accu.Progress) {

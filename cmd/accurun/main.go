@@ -7,14 +7,23 @@
 //	accurun -preset slashdot -scale 0.02 -policy abm -k 50 [-wd 0.5 -wi 0.5]
 //
 // Policies: abm, greedy, maxdegree, pagerank, random.
+//
+// With -runs N (N > 1) accurun instead runs the Monte-Carlo engine on the
+// single-network protocol — N independent realizations of one network,
+// fanned out over -workers — and prints summary statistics. This is the
+// "one dataset, many repetitions" shape the cell-level scheduler
+// parallelizes.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"time"
 
 	accu "github.com/accu-sim/accu"
 	"github.com/accu-sim/accu/internal/prof"
@@ -76,6 +85,8 @@ func run(args []string, out io.Writer) error {
 		verbose  = fs.Bool("v", false, "print every request (default: accepted only)")
 		asJSON   = fs.Bool("json", false, "emit the full trace as JSON instead of text")
 		journal  = fs.String("journal", "", "write the replayable request journal to this file")
+		runs     = fs.Int("runs", 1, "repeat the attack over N realizations and print summary stats")
+		workers  = fs.Int("workers", 0, "worker pool for -runs > 1 (0 = GOMAXPROCS)")
 
 		metrics    = fs.Bool("metrics", false, "print policy/environment metrics after the trace")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -104,12 +115,25 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	root := accu.NewSeed(*seed, *seed*2+1)
+	setup := accu.DefaultSetup()
+	setup.NumCautious = *cautious
+	if *runs < 1 {
+		return fmt.Errorf("-runs %d must be >= 1", *runs)
+	}
+	if *runs > 1 {
+		if *asJSON || *journal != "" {
+			return fmt.Errorf("-runs > 1 prints summary statistics; -json and -journal apply to single runs only")
+		}
+		factory, err := policyFactory(*policy, *wd, *wi, reg)
+		if err != nil {
+			return err
+		}
+		return runRepeated(out, generator, setup, factory, *k, *runs, *workers, root, reg)
+	}
 	g, err := generator.Generate(root.Split("network"))
 	if err != nil {
 		return err
 	}
-	setup := accu.DefaultSetup()
-	setup.NumCautious = *cautious
 	inst, err := setup.Build(g, root.Split("setup"))
 	if err != nil {
 		return err
@@ -185,6 +209,99 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nfinal: benefit %.1f, friends %d (%d cautious), %d requests sent\n",
 		res.Benefit, res.Friends, res.CautiousFriends, len(res.Steps))
+	if snap := reg.Snapshot(); !snap.Empty() {
+		fmt.Fprintf(out, "\n-- metrics --\n%s", snap.Render())
+	}
+	return nil
+}
+
+// policyFactory builds the Monte-Carlo factory for one named policy. The
+// random baseline derives its stream from the per-cell factory seed, so
+// repeated runs stay independent yet reproducible.
+func policyFactory(name string, wd, wi float64, reg *accu.Metrics) (accu.PolicyFactory, error) {
+	switch name {
+	case "abm":
+		w := accu.Weights{WD: wd, WI: wi}
+		return accu.PolicyFactory{Name: "abm", New: func(accu.Seed) (accu.Policy, error) {
+			return accu.NewABM(w, accu.WithMetrics(reg))
+		}}, nil
+	case "greedy":
+		return accu.PolicyFactory{Name: "greedy", New: func(accu.Seed) (accu.Policy, error) {
+			return accu.NewPureGreedy(), nil
+		}}, nil
+	case "maxdegree":
+		return accu.PolicyFactory{Name: "maxdegree", New: func(accu.Seed) (accu.Policy, error) {
+			return accu.NewMaxDegree(), nil
+		}}, nil
+	case "pagerank":
+		return accu.PolicyFactory{Name: "pagerank", New: func(accu.Seed) (accu.Policy, error) {
+			return accu.NewPageRank(), nil
+		}}, nil
+	case "random":
+		return accu.PolicyFactory{Name: "random", New: func(s accu.Seed) (accu.Policy, error) {
+			return accu.NewRandom(s), nil
+		}}, nil
+	default:
+		return accu.PolicyFactory{}, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// runRepeated executes the -runs > 1 mode: one network, many realizations,
+// fanned out over the cell-level scheduler, summarized as distribution
+// statistics rather than a per-request trace.
+func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, factory accu.PolicyFactory, k, runs, workers int, root accu.Seed, reg *accu.Metrics) error {
+	protocol := accu.Protocol{
+		Gen:      generator,
+		Setup:    setup,
+		Networks: 1,
+		Runs:     runs,
+		K:        k,
+		Seed:     root,
+		Workers:  workers,
+		Metrics:  reg,
+	}
+	resolved, clamped := protocol.ResolveWorkers()
+	if clamped {
+		fmt.Fprintf(os.Stderr, "accurun: -workers %d exceeds the %d-cell run grid; running with %d workers\n",
+			workers, runs, resolved)
+	}
+
+	var (
+		n                  int
+		sum, sumSq         float64
+		minB, maxB         = math.Inf(1), math.Inf(-1)
+		sumFriends         int
+		sumCautiousFriends int
+	)
+	start := time.Now()
+	err := accu.MonteCarlo(context.Background(), protocol, []accu.PolicyFactory{factory}, func(r accu.Record) {
+		n++
+		b := r.Result.Benefit
+		sum += b
+		sumSq += b * b
+		minB = math.Min(minB, b)
+		maxB = math.Max(maxB, b)
+		sumFriends += r.Result.Friends
+		sumCautiousFriends += r.Result.CautiousFriends
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	fmt.Fprintf(out, "policy:  %s, budget %d, %d realizations, %d workers\n",
+		factory.Name, k, n, resolved)
+	fmt.Fprintf(out, "benefit: mean %.1f  std %.1f  min %.1f  max %.1f\n",
+		mean, math.Sqrt(variance), minB, maxB)
+	fmt.Fprintf(out, "friends: mean %.1f (%.1f cautious)\n",
+		float64(sumFriends)/float64(n), float64(sumCautiousFriends)/float64(n))
+	fmt.Fprintf(out, "timing:  %v wall, %.1f runs/sec\n",
+		wall.Round(time.Millisecond), float64(n)/wall.Seconds())
 	if snap := reg.Snapshot(); !snap.Empty() {
 		fmt.Fprintf(out, "\n-- metrics --\n%s", snap.Render())
 	}

@@ -104,6 +104,63 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+func TestRepeatedRunsSummary(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "slashdot", "-scale", "0.02", "-k", "10",
+		"-cautious", "5", "-runs", "4", "-workers", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"4 realizations", "2 workers", "benefit: mean", "friends: mean", "timing:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRepeatedRunsDeterministicAcrossWorkers(t *testing.T) {
+	// The cell scheduler guarantees the same records regardless of pool
+	// size, so the printed summary must be identical too.
+	summary := func(workers string) string {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-preset", "slashdot", "-scale", "0.02", "-k", "10",
+			"-cautious", "5", "-policy", "random", "-runs", "6", "-workers", workers,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip the timing line, which is naturally nondeterministic.
+		var lines []string
+		for _, l := range strings.Split(buf.String(), "\n") {
+			if !strings.HasPrefix(l, "timing:") {
+				lines = append(lines, l)
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	serial, parallel := summary("1"), summary("4")
+	// Worker count appears in the header; normalize it before comparing.
+	serial = strings.ReplaceAll(serial, "1 workers", "N workers")
+	parallel = strings.ReplaceAll(parallel, "4 workers", "N workers")
+	if serial != parallel {
+		t.Errorf("summary differs across worker counts:\n-- workers=1 --\n%s\n-- workers=4 --\n%s", serial, parallel)
+	}
+}
+
+func TestRepeatedRunsRejectsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "3", "-json"}, &buf); err == nil {
+		t.Error("-runs with -json: want error")
+	}
+	if err := run([]string{"-runs", "0"}, &buf); err == nil {
+		t.Error("-runs 0: want error")
+	}
+}
+
 func TestJournalFlag(t *testing.T) {
 	tmp := t.TempDir() + "/trace.journal"
 	var buf bytes.Buffer

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-quick",
+		"-scale", "0.01",
+		"-k", "5",
+		"-workers", "1,2",
+		"-out", outPath,
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got output
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if want := 2 * 2; len(got.Results) != want { // 2 quick shapes × 2 worker counts
+		t.Fatalf("results = %d, want %d", len(got.Results), want)
+	}
+	for _, r := range got.Results {
+		if r.Cells != r.Networks*r.Runs*r.Policies {
+			t.Errorf("shape %dx%d: cells = %d, want %d", r.Networks, r.Runs, r.Cells, r.Networks*r.Runs*r.Policies)
+		}
+		if r.CellsPerSec <= 0 {
+			t.Errorf("shape %dx%d workers %d: cellsPerSec = %v", r.Networks, r.Runs, r.Workers, r.CellsPerSec)
+		}
+		if r.ResolvedWorkers > r.Networks*r.Runs {
+			t.Errorf("resolved workers %d exceeds cell count", r.ResolvedWorkers)
+		}
+	}
+}
+
+func TestParseFlagsRejectsBadShapes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-shapes", "abc"},
+		{"-shapes", "0x5"},
+		{"-workers", "0"},
+		{"-workers", "x"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

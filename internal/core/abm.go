@@ -5,6 +5,7 @@ import (
 
 	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
 )
 
 // ABM is the Adaptive Benefit Maximization greedy of Algorithm 1: at each
@@ -31,10 +32,11 @@ type ABM struct {
 
 	// Instruments resolved once by WithMetrics; nil (no-op) by default.
 	// See DESIGN.md "Reading a metrics dump" for what each one means.
-	mHeapPops   *obs.Counter   // heap entries popped in SelectNext
-	mStaleSkips *obs.Counter   // popped entries discarded as stale/requested
-	mRescores   *obs.Counter   // potential re-evaluations
-	mDirtySize  *obs.Histogram // dirty-set size per acceptance
+	mHeapPops    *obs.Counter   // heap entries popped in SelectNext
+	mStaleSkips  *obs.Counter   // popped entries discarded as stale/requested
+	mRescores    *obs.Counter   // potential re-evaluations
+	mDirtySize   *obs.Histogram // dirty-set size per acceptance
+	mCompactions *obs.Counter   // stale-entry heap compactions
 }
 
 // Option configures an ABM policy.
@@ -56,6 +58,7 @@ func WithMetrics(reg *obs.Registry) Option {
 		a.mStaleSkips = reg.Counter("abm.stale_skips")
 		a.mRescores = reg.Counter("abm.rescores")
 		a.mDirtySize = reg.Histogram("abm.dirty_size")
+		a.mCompactions = reg.Counter("abm.heap_compactions")
 	}
 }
 
@@ -86,22 +89,27 @@ func NewPureGreedy() *ABM {
 var _ Policy = (*ABM)(nil)
 
 // Name implements Policy.
-func (a *ABM) Name() string {
-	if a.weights.WI == 0 {
-		return "greedy"
-	}
-	return fmt.Sprintf("abm(wD=%.2f,wI=%.2f)", a.weights.WD, a.weights.WI)
-}
+func (a *ABM) Name() string { return a.weights.PolicyName() }
+
+// Reseed implements Reusable: ABM ignores its construction seed, and Init
+// re-slices every per-attack buffer, so reuse needs no reset work.
+func (a *ABM) Reseed(rng.Seed) {}
 
 // Weights returns the potential weights.
 func (a *ABM) Weights() Weights { return a.weights }
 
-// Init implements Policy: score every user and build the heap.
+// Init implements Policy: score every user and build the heap. A reused
+// instance (scheduler-level pooling via Reusable) re-slices its previous
+// buffers instead of reallocating.
 func (a *ABM) Init(st *osn.State) error {
 	n := st.Instance().N()
-	a.scores = make([]float64, n)
-	a.version = make([]int32, n)
-	a.dirtyStamp = make([]int32, n)
+	if cap(a.scores) < n {
+		a.scores = make([]float64, n)
+	} else {
+		a.scores = a.scores[:n] // fully overwritten below
+	}
+	a.version = resetInt32s(a.version, n)
+	a.dirtyStamp = resetInt32s(a.dirtyStamp, n)
 	a.epoch = 0
 	a.pq = a.pq[:0]
 	if cap(a.pq) < n {
@@ -113,6 +121,19 @@ func (a *ABM) Init(st *osn.State) error {
 	}
 	a.pq.init()
 	return nil
+}
+
+// resetInt32s returns a zeroed int32 slice of length n, reusing s's
+// backing array when it is large enough.
+func resetInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // SelectNext implements Policy: pop the freshest highest-potential
@@ -146,6 +167,7 @@ func (a *ABM) Observe(st *osn.State, out osn.Outcome) {
 			}
 		}
 		a.mDirtySize.Observe(int64(n))
+		a.maybeCompact(st)
 		return
 	}
 
@@ -179,6 +201,35 @@ func (a *ABM) Observe(st *osn.State, out osn.Outcome) {
 		}
 	}
 	a.mDirtySize.Observe(int64(dirty))
+	a.maybeCompact(st)
+}
+
+// compactSlack keeps tiny instances from compacting on every acceptance.
+const compactSlack = 64
+
+// maybeCompact drops stale heap entries once they outnumber live
+// candidates ~2:1. Every rescore that changes a score strands the
+// previous entry in the heap, so a long high-churn attack would otherwise
+// grow the heap without bound; compaction restores |heap| <= live
+// candidates in O(|heap|), amortized O(1) per stranded entry. Selection
+// is unaffected: stale entries are skipped on pop anyway, and the fresh
+// entries form a total order on (score, user id), so rebuilding the heap
+// preserves the pop sequence exactly.
+func (a *ABM) maybeCompact(st *osn.State) {
+	live := st.Instance().N() - st.Requests()
+	if len(a.pq) <= 3*live+compactSlack {
+		return
+	}
+	keep := a.pq[:0]
+	for _, e := range a.pq {
+		u := int(e.user)
+		if e.version == a.version[u] && !st.Requested(u) {
+			keep = append(keep, e)
+		}
+	}
+	a.pq = keep
+	a.pq.init()
+	a.mCompactions.Inc()
 }
 
 // rescore recomputes u's potential and pushes a fresh heap entry.

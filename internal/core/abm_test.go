@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/accu-sim/accu/internal/graph"
+	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/osn"
 	"github.com/accu-sim/accu/internal/rng"
 )
@@ -235,6 +236,118 @@ func TestABMPolicyReusableAcrossRuns(t *testing.T) {
 	}
 	if _, err := Run(a, re2, 30); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestABMHeapCompactionBoundsGrowth pins the O(N) heap bound: a long,
+// high-churn attack (full rescan pushes a fresh entry for nearly every
+// candidate after every acceptance) must never grow the potential heap
+// past the compaction threshold, and compaction must actually fire.
+func TestABMHeapCompactionBoundsGrowth(t *testing.T) {
+	inst := randomInstance(t, 400)
+	n := inst.N()
+	re := inst.SampleRealization(rng.NewSeed(11, 12))
+	reg := obs.New()
+	a, err := NewABM(DefaultWeights(), WithFullRescan(), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := osn.NewState(re)
+	if err := a.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	bound := 3*n + compactSlack
+	for i := 0; i < n; i++ {
+		u, ok := a.SelectNext(st)
+		if !ok {
+			break
+		}
+		out, err := st.Request(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Observe(st, out)
+		if got := a.pq.Len(); got > bound {
+			t.Fatalf("after request %d: heap length %d exceeds O(N) bound %d", i, got, bound)
+		}
+	}
+	if got := reg.Counter("abm.heap_compactions").Value(); got == 0 {
+		t.Fatal("no compaction fired — the growth bound was never stressed")
+	}
+}
+
+// TestReusableReseedMatchesFresh pins the Reusable contract the cell
+// scheduler relies on: Reseed(seed) + Init must reproduce a freshly
+// constructed policy with that seed, bit for bit, for every shipped
+// policy — including the seed-dependent Random baseline.
+func TestReusableReseedMatchesFresh(t *testing.T) {
+	inst := randomInstance(t, 500)
+	re1 := inst.SampleRealization(rng.NewSeed(21, 22))
+	re2 := inst.SampleRealization(rng.NewSeed(23, 24))
+	s1, s2 := rng.NewSeed(31, 32), rng.NewSeed(33, 34)
+	mk := map[string]func(seed rng.Seed) Reusable{
+		"abm": func(rng.Seed) Reusable {
+			a, err := NewABM(DefaultWeights())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+		"maxdegree": func(rng.Seed) Reusable { return NewMaxDegree() },
+		"pagerank":  func(rng.Seed) Reusable { return NewPageRank() },
+		"random":    func(seed rng.Seed) Reusable { return NewRandom(seed) },
+	}
+	for name, factory := range mk {
+		fresh, err := Run(factory(s2), re2, 40)
+		if err != nil {
+			t.Fatalf("%s fresh: %v", name, err)
+		}
+		reused := factory(s1)
+		if _, err := Run(reused, re1, 40); err != nil {
+			t.Fatalf("%s warmup: %v", name, err)
+		}
+		reused.Reseed(s2)
+		got, err := Run(reused, re2, 40)
+		if err != nil {
+			t.Fatalf("%s reused: %v", name, err)
+		}
+		if len(got.Steps) != len(fresh.Steps) {
+			t.Fatalf("%s: %d steps reused vs %d fresh", name, len(got.Steps), len(fresh.Steps))
+		}
+		for i := range got.Steps {
+			if got.Steps[i] != fresh.Steps[i] {
+				t.Fatalf("%s step %d: reused %+v vs fresh %+v", name, i, got.Steps[i], fresh.Steps[i])
+			}
+		}
+		if got.Benefit != fresh.Benefit {
+			t.Fatalf("%s: benefit %v reused vs %v fresh", name, got.Benefit, fresh.Benefit)
+		}
+	}
+}
+
+// TestRunnerPoolsStateAcrossRuns checks a Runner's pooled state yields
+// the same results as independent Run calls.
+func TestRunnerPoolsStateAcrossRuns(t *testing.T) {
+	inst := randomInstance(t, 600)
+	var r Runner
+	for i := 0; i < 3; i++ {
+		re := inst.SampleRealization(rng.NewSeed(uint64(40+i), uint64(50+i)))
+		a, err := NewABM(DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := r.Run(a, re, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Run(a, re, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pooled.Benefit != plain.Benefit || pooled.Friends != plain.Friends {
+			t.Fatalf("run %d: pooled (%v, %d) vs plain (%v, %d)",
+				i, pooled.Benefit, pooled.Friends, plain.Benefit, plain.Friends)
+		}
 	}
 }
 

@@ -86,6 +86,10 @@ func (s *StaticRank) SelectNext(st *osn.State) (int, bool) {
 // Observe implements Policy.
 func (s *StaticRank) Observe(*osn.State, osn.Outcome) {}
 
+// Reseed implements Reusable: the static order is recomputed by Init and
+// never depends on a seed.
+func (s *StaticRank) Reseed(rng.Seed) {}
+
 // Random is the uniform-random baseline.
 type Random struct {
 	seed  rng.Seed
@@ -124,6 +128,17 @@ func (r *Random) SelectNext(st *osn.State) (int, bool) {
 
 // Observe implements Policy.
 func (r *Random) Observe(*osn.State, osn.Outcome) {}
+
+// Reseed implements Reusable: a reseeded Random is indistinguishable from
+// NewRandom(seed) — Init re-derives the shuffle from the stored seed.
+func (r *Random) Reseed(seed rng.Seed) { r.seed = seed }
+
+// Scheduler-level reuse compliance for all shipped policies.
+var (
+	_ Reusable = (*ABM)(nil)
+	_ Reusable = (*StaticRank)(nil)
+	_ Reusable = (*Random)(nil)
+)
 
 func identity(n int) []int {
 	xs := make([]int, n)

@@ -75,13 +75,19 @@ var (
 // batchSize with no observations inside a batch, up to k requests total
 // (the final batch may be smaller). batchSize = 1 reproduces Run exactly.
 func RunBatched(p BatchSelector, re *osn.Realization, k, batchSize int) (*Result, error) {
+	return (*Runner)(nil).RunBatched(p, re, k, batchSize)
+}
+
+// RunBatched executes one batching attack, reusing the runner's pooled
+// state.
+func (r *Runner) RunBatched(p BatchSelector, re *osn.Realization, k, batchSize int) (*Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: k=%d", ErrNoBudget, k)
 	}
 	if batchSize <= 0 {
 		return nil, fmt.Errorf("core: batch size %d must be positive", batchSize)
 	}
-	st := osn.NewState(re)
+	st := r.state(re)
 	if err := p.Init(st); err != nil {
 		return nil, fmt.Errorf("core: init %s: %w", p.Name(), err)
 	}

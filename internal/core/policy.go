@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
 )
 
 // Policy is an adaptive attack strategy π: given the current partial
@@ -29,6 +30,18 @@ type Policy interface {
 	// Observe notifies the policy of a request outcome so it can update
 	// its internal caches.
 	Observe(st *osn.State, out osn.Outcome)
+}
+
+// Reusable is an optional Policy extension for schedulers that execute
+// many attacks per worker goroutine. Reseed must restore the policy to
+// the state a fresh construction with the given seed would have — Init is
+// still called before the next attack, so implementations only need to
+// reset seed-derived state while keeping buffer capacity for reuse.
+// Policies that ignore their construction seed implement it as a no-op.
+type Reusable interface {
+	Policy
+	// Reseed prepares the instance for a new attack under seed.
+	Reseed(seed rng.Seed)
 }
 
 // ErrNoBudget is returned when Run is called with a non-positive budget.
@@ -68,14 +81,43 @@ type Result struct {
 	Journal *osn.Journal
 }
 
+// Runner executes attacks while pooling the per-attack osn.State buffers
+// across calls: a worker goroutine that owns a Runner pays the three O(N)
+// state allocations once instead of once per cell. The zero value is
+// ready to use; a Runner is single-goroutine (one per worker). Results
+// never alias the pooled state, so they stay valid across calls.
+type Runner struct {
+	st *osn.State
+}
+
+// state returns a fresh-equivalent attack state for re, reusing the
+// pooled buffers when possible. A nil receiver degrades to plain
+// allocation so package-level Run can share the execution path.
+func (r *Runner) state(re *osn.Realization) *osn.State {
+	if r == nil {
+		return osn.NewState(re)
+	}
+	if r.st == nil {
+		r.st = osn.NewState(re)
+	} else {
+		r.st.Reset(re)
+	}
+	return r.st
+}
+
 // Run executes the policy against the realization for up to k requests
 // and returns the trace. The attack stops early if the policy runs out of
 // candidates.
 func Run(p Policy, re *osn.Realization, k int) (*Result, error) {
+	return (*Runner)(nil).Run(p, re, k)
+}
+
+// Run executes one attack, reusing the runner's pooled state.
+func (r *Runner) Run(p Policy, re *osn.Realization, k int) (*Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: k=%d", ErrNoBudget, k)
 	}
-	st := osn.NewState(re)
+	st := r.state(re)
 	if err := p.Init(st); err != nil {
 		return nil, fmt.Errorf("core: init %s: %w", p.Name(), err)
 	}

@@ -19,6 +19,16 @@ type Weights struct {
 // DefaultWeights returns the paper's balanced setting w_D = w_I = 0.5.
 func DefaultWeights() Weights { return Weights{WD: 0.5, WI: 0.5} }
 
+// PolicyName returns the name an ABM policy with these weights reports:
+// "greedy" for the pure w_I=0 greedy, "abm(wD=…,wI=…)" otherwise. It lets
+// factories label records without constructing a probe policy.
+func (w Weights) PolicyName() string {
+	if w.WI == 0 {
+		return "greedy"
+	}
+	return fmt.Sprintf("abm(wD=%.2f,wI=%.2f)", w.WD, w.WI)
+}
+
 // Validate checks the weights are usable.
 func (w Weights) Validate() error {
 	if w.WD < 0 || w.WI < 0 {

@@ -38,7 +38,10 @@ type Config struct {
 	Weights core.Weights
 	// Seed roots all randomness.
 	Seed rng.Seed
-	// Workers bounds the simulation worker pool (0 = GOMAXPROCS).
+	// Workers bounds the simulation worker pool (0 = GOMAXPROCS). The
+	// pool is sized against (network, run) cells, so values above
+	// Networks still help as long as Networks×Runs cells exist; anything
+	// beyond the cell count is clamped.
 	Workers int
 	// Metrics, when non-nil, collects engine/environment/policy counters
 	// across every Monte-Carlo run of the experiment; snapshot it after

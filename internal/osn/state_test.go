@@ -297,6 +297,46 @@ func TestStateClone(t *testing.T) {
 	}
 }
 
+// TestStateResetMatchesFresh pins the pooling contract: a state reset
+// onto a realization behaves exactly like a new one — same outcomes,
+// same accounting — with no residue from the previous attack.
+func TestStateResetMatchesFresh(t *testing.T) {
+	inst := cautiousFixture(t)
+	re := allIn(inst)
+
+	used := NewState(re)
+	for u := 0; u < 3; u++ {
+		if _, err := used.Request(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used.Reset(re)
+
+	for u := 0; u < inst.N(); u++ {
+		if used.Requested(u) || used.IsFriend(u) || used.Mutual(u) != 0 {
+			t.Fatalf("user %d: reset state retains attack residue", u)
+		}
+	}
+
+	fresh := NewState(re)
+	for u := 0; u < inst.N(); u++ {
+		a, errA := used.Request(u)
+		b, errB := fresh.Request(u)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("user %d: errors diverge: %v vs %v", u, errA, errB)
+		}
+		if a != b {
+			t.Fatalf("user %d: outcome %+v vs fresh %+v", u, a, b)
+		}
+	}
+	if used.Benefit() != fresh.Benefit() || used.Friends() != fresh.Friends() ||
+		used.CautiousFriends() != fresh.CautiousFriends() || used.FOFCount() != fresh.FOFCount() {
+		t.Fatalf("accounting diverged: reset (%v, %d, %d, %d) vs fresh (%v, %d, %d, %d)",
+			used.Benefit(), used.Friends(), used.CautiousFriends(), used.FOFCount(),
+			fresh.Benefit(), fresh.Friends(), fresh.CautiousFriends(), fresh.FOFCount())
+	}
+}
+
 func TestSampleRealizationDeterministic(t *testing.T) {
 	g, err := gen400(t)
 	if err != nil {

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/gen"
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
+)
+
+// benchProtocol is a small but non-trivial grid: enough cells to exercise
+// the queue, small enough for -benchtime to converge quickly.
+func benchProtocol(networks, runs, workers int) Protocol {
+	s := osn.DefaultSetup()
+	s.NumCautious = 5
+	return Protocol{
+		Gen:      gen.ErdosRenyi{N: 300, M: 3000},
+		Setup:    s,
+		Networks: networks,
+		Runs:     runs,
+		K:        20,
+		Seed:     rng.NewSeed(7, 11),
+		Workers:  workers,
+	}
+}
+
+// BenchmarkCellScheduler measures scheduler throughput on the two
+// interesting grid shapes — single-network (which the old per-network
+// fan-out serialized) and wide — across worker counts. The metric that
+// matters is ns/op scaling down as workers go up, on both shapes.
+func BenchmarkCellScheduler(b *testing.B) {
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shape := range []struct{ networks, runs int }{{1, 8}, {4, 2}} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("networks-%d/workers-%d", shape.networks, workers)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				p := benchProtocol(shape.networks, shape.runs, workers)
+				for i := 0; i < b.N; i++ {
+					cells := 0
+					if err := Run(context.Background(), p, factories, func(Record) { cells++ }); err != nil {
+						b.Fatal(err)
+					}
+					if want := p.Networks * p.Runs * len(factories); cells != want {
+						b.Fatalf("cells = %d, want %d", cells, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCellSchedulerAllocs isolates the per-cell allocation cost the
+// worker-scratch pooling (core.Runner + Reusable policies) removes: one
+// network instance, many cells, single worker so the numbers are stable.
+func BenchmarkCellSchedulerAllocs(b *testing.B) {
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchProtocol(1, 16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Run(context.Background(), p, factories, func(Record) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

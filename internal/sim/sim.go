@@ -2,6 +2,14 @@
 // of (sample network × repetition) cells, each executing every policy
 // under comparison against the same sampled realization, fanned out over
 // a bounded worker pool with deterministic per-cell seeding.
+//
+// Scheduling is cell-granular: workers consume (network, run) cells from
+// a shared queue, so a Networks=1, Runs=30 protocol — the "one real
+// dataset, many repetitions" shape — parallelizes just as well as a wide
+// network grid. Each network's immutable Instance is generated once
+// behind a once-per-network gate and shared by every worker; all
+// randomness still derives from per-cell seed splits, so the record
+// stream is bit-identical at any worker count.
 package sim
 
 import (
@@ -10,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/accu-sim/accu/internal/core"
@@ -38,7 +47,12 @@ type Protocol struct {
 	BatchSize int
 	// Seed is the root seed; every cell derives its own stream from it.
 	Seed rng.Seed
-	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	// Workers bounds the worker pool; 0 means GOMAXPROCS. An explicit
+	// value is honored up to the (network, run) cell count — see
+	// ResolveWorkers for the clamp rule; a clamp is surfaced via the
+	// sim.workers / sim.workers_requested / sim.workers_clamped metrics
+	// rather than silently shrinking the pool to Networks as earlier
+	// versions did.
 	Workers int
 	// Metrics, when non-nil, receives engine instrumentation: per-cell
 	// and per-network wall time, worker busy time and utilisation, and —
@@ -98,12 +112,8 @@ func ABMFactory(w Weights, opts ...core.Option) (PolicyFactory, error) {
 	if err := w.Validate(); err != nil {
 		return PolicyFactory{}, err
 	}
-	probe, err := core.NewABM(w)
-	if err != nil {
-		return PolicyFactory{}, err
-	}
 	return PolicyFactory{
-		Name: probe.Name(),
+		Name: w.PolicyName(),
 		New: func(rng.Seed) (core.Policy, error) {
 			return core.NewABM(w, opts...)
 		},
@@ -144,11 +154,17 @@ type Record struct {
 // therefore no-ops — when Protocol.Metrics is unset).
 type engineMetrics struct {
 	cellNS     *obs.Histogram // one policy execution (core.Run/RunBatched)
-	networkNS  *obs.Histogram // generate + setup + all cells of one network
+	networkNS  *obs.Histogram // generate + setup of one network instance
 	cells      *obs.Counter   // completed cells
 	workerBusy *obs.Counter   // summed worker busy nanoseconds
 	wallNS     *obs.Histogram // wall time, one observation per Run call
 	workers    *obs.Gauge     // resolved pool size
+	// workersRequested/workersClamped surface the clamp rule: the gauge
+	// holds the caller's explicit Workers request, the counter increments
+	// once per Run whose request exceeded the cell count. A clamp is a
+	// note, never an error.
+	workersRequested *obs.Gauge
+	workersClamped   *obs.Counter
 	// utilizationPct observes each Run's pool utilisation — this run's
 	// busy time over wall × workers — in percent (100 = fully busy).
 	utilizationPct *obs.Histogram
@@ -159,21 +175,40 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		return engineMetrics{}
 	}
 	return engineMetrics{
-		cellNS:         reg.Histogram("sim.cell_ns"),
-		networkNS:      reg.Histogram("sim.network_ns"),
-		cells:          reg.Counter("sim.cells"),
-		workerBusy:     reg.Counter("sim.worker_busy_ns"),
-		wallNS:         reg.Histogram("sim.wall_ns"),
-		workers:        reg.Gauge("sim.workers"),
-		utilizationPct: reg.Histogram("sim.worker_utilization_pct"),
+		cellNS:           reg.Histogram("sim.cell_ns"),
+		networkNS:        reg.Histogram("sim.network_ns"),
+		cells:            reg.Counter("sim.cells"),
+		workerBusy:       reg.Counter("sim.worker_busy_ns"),
+		wallNS:           reg.Histogram("sim.wall_ns"),
+		workers:          reg.Gauge("sim.workers"),
+		workersRequested: reg.Gauge("sim.workers_requested"),
+		workersClamped:   reg.Counter("sim.workers_clamped"),
+		utilizationPct:   reg.Histogram("sim.worker_utilization_pct"),
 	}
+}
+
+// ResolveWorkers reports the worker pool size Run will use for this
+// protocol and whether an explicit Workers request was clamped. The pool
+// is bounded by the number of (network, run) cells — the scheduler's unit
+// of parallelism — never by Networks alone, so single-network protocols
+// with many repetitions use every worker they ask for.
+func (p Protocol) ResolveWorkers() (workers int, clamped bool) {
+	workers = p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cells := p.Networks * p.Runs; cells > 0 && workers > cells {
+		return cells, p.Workers > cells
+	}
+	return workers, false
 }
 
 // Run executes the protocol. Every policy in factories attacks the same
 // realization within a cell, so policies are compared on identical ground
 // truth. collect is invoked serially (no locking needed by the caller)
 // but in nondeterministic cell order; the per-cell randomness itself is
-// fully deterministic in Protocol.Seed. Run stops at the first error or
+// fully deterministic in Protocol.Seed — the collected record set is
+// bit-identical at any worker count. Run stops at the first error or
 // when ctx is cancelled; a worker error always wins over the context
 // cancellation it triggers.
 func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect func(Record)) error {
@@ -183,15 +218,15 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 	if len(factories) == 0 {
 		return errors.New("sim: no policy factories")
 	}
-	workers := p.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > p.Networks {
-		workers = p.Networks
-	}
+	workers, clamped := p.ResolveWorkers()
 	em := newEngineMetrics(p.Metrics)
 	em.workers.Set(float64(workers))
+	if p.Workers > 0 {
+		em.workersRequested.Set(float64(p.Workers))
+	}
+	if clamped {
+		em.workersClamped.Inc()
+	}
 	// One registry may span several Run calls (an experiment per dataset),
 	// so utilisation is computed from this run's busy-time delta.
 	busyBefore := em.workerBusy.Value()
@@ -212,7 +247,11 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 		cancel()
 	}
 
-	networkIdx := make(chan int)
+	// The scheduler's unit of work is one (network, run) cell; instances
+	// are built lazily, once per network, by whichever worker reaches the
+	// network first (the once-gate blocks same-network latecomers).
+	nets := make([]netSlot, p.Networks)
+	cellIdx := make(chan int)
 	records := make(chan Record)
 
 	var wg sync.WaitGroup
@@ -220,9 +259,10 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range networkIdx {
+			wk := newWorker(len(factories))
+			for c := range cellIdx {
 				busyStart := time.Now()
-				err := runNetwork(ctx, p, factories, i, records, em)
+				err := wk.runCell(ctx, p, factories, nets, c, records, em)
 				em.workerBusy.Add(int64(time.Since(busyStart)))
 				if err != nil {
 					fail(err)
@@ -232,12 +272,14 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 		}()
 	}
 
-	// Feed network indices; close records when all workers are done.
+	// Feed cell indices in network-major order (all runs of network 0,
+	// then network 1, ...) so a draining pool touches as few instances as
+	// possible at once; close records when all workers are done.
 	go func() {
-		defer close(networkIdx)
-		for i := 0; i < p.Networks; i++ {
+		defer close(cellIdx)
+		for c := 0; c < p.Networks*p.Runs; c++ {
 			select {
-			case networkIdx <- i:
+			case cellIdx <- c:
 			case <-ctx.Done():
 				return
 			}
@@ -271,53 +313,120 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 	return ctx.Err()
 }
 
-// runNetwork generates network i, builds its instance, and executes all
-// (run, policy) cells.
-func runNetwork(ctx context.Context, p Protocol, factories []PolicyFactory, i int, records chan<- Record, em engineMetrics) error {
-	defer obs.StartSpan(em.networkNS).End()
+// netSlot memoizes one network's immutable instance behind a build-once
+// gate, and drops it once every run of the network has completed so long
+// grids do not pin all Networks instances in memory at once.
+type netSlot struct {
+	once sync.Once
+	inst *osn.Instance
+	err  error
+	done atomic.Int32
+}
+
+// get returns the network's instance, building it on first use. Callers
+// racing the builder block on the once-gate instead of regenerating.
+func (s *netSlot) get(p Protocol, i int, netSeed rng.Seed, em engineMetrics) (*osn.Instance, error) {
+	s.once.Do(func() {
+		defer obs.StartSpan(em.networkNS).End()
+		g, err := p.Gen.Generate(netSeed)
+		if err != nil {
+			s.err = fmt.Errorf("sim: generate network %d: %w", i, err)
+			return
+		}
+		inst, err := p.Setup.Build(g, netSeed.Split("setup"))
+		if err != nil {
+			s.err = fmt.Errorf("sim: setup network %d: %w", i, err)
+			return
+		}
+		inst.Instrument(p.Metrics)
+		s.inst = inst
+	})
+	return s.inst, s.err
+}
+
+// release marks one of the network's runs complete; after the last, the
+// memoized instance is unpinned (in-flight references keep it alive).
+func (s *netSlot) release(runs int) {
+	if int(s.done.Add(1)) == runs {
+		s.inst = nil
+	}
+}
+
+// worker holds one pool goroutine's reusable scratch: the pooled attack
+// state (core.Runner) and, for policies implementing core.Reusable, the
+// policy instances themselves — their Init re-slices internal buffers, so
+// reuse turns three-plus O(N) allocations per cell into reseeds.
+type worker struct {
+	runner core.Runner
+	pols   []core.Reusable
+}
+
+func newWorker(nfactories int) *worker {
+	return &worker{pols: make([]core.Reusable, nfactories)}
+}
+
+// policy returns factory fi's policy for a cell seeded by seed, reusing a
+// cached Reusable instance when one exists.
+func (w *worker) policy(f PolicyFactory, fi int, seed rng.Seed) (core.Policy, error) {
+	if cached := w.pols[fi]; cached != nil {
+		cached.Reseed(seed)
+		return cached, nil
+	}
+	pol, err := f.New(seed)
+	if err != nil {
+		return nil, fmt.Errorf("sim: build policy %s: %w", f.Name, err)
+	}
+	if r, ok := pol.(core.Reusable); ok {
+		w.pols[fi] = r
+	}
+	return pol, nil
+}
+
+// runCell executes cell c = network·Runs + run: sample the cell's
+// realization and attack it with every policy. Seed derivation is
+// identical to the historical per-network scheduler (network split, then
+// run split, then realization/policy splits), which is what keeps the
+// record stream byte-identical across worker counts and scheduler
+// versions.
+func (w *worker) runCell(ctx context.Context, p Protocol, factories []PolicyFactory, nets []netSlot, c int, records chan<- Record, em engineMetrics) error {
+	i, j := c/p.Runs, c%p.Runs
 	netSeed := p.Seed.SplitN("network", i)
-	g, err := p.Gen.Generate(netSeed)
+	inst, err := nets[i].get(p, i, netSeed, em)
 	if err != nil {
-		return fmt.Errorf("sim: generate network %d: %w", i, err)
+		return err
 	}
-	inst, err := p.Setup.Build(g, netSeed.Split("setup"))
-	if err != nil {
-		return fmt.Errorf("sim: setup network %d: %w", i, err)
+	if ctx.Err() != nil {
+		return nil // cooperative cancellation, not a cell failure
 	}
-	inst.Instrument(p.Metrics)
-	for j := 0; j < p.Runs; j++ {
-		if err := ctx.Err(); err != nil {
-			return nil // cooperative cancellation, not a cell failure
+	runSeed := netSeed.SplitN("run", j)
+	re := inst.SampleRealization(runSeed.Split("realization"))
+	for fi, f := range factories {
+		pol, err := w.policy(f, fi, runSeed.SplitN("policy", fi))
+		if err != nil {
+			return err
 		}
-		runSeed := netSeed.SplitN("run", j)
-		re := inst.SampleRealization(runSeed.Split("realization"))
-		for fi, f := range factories {
-			pol, err := f.New(runSeed.SplitN("policy", fi))
-			if err != nil {
-				return fmt.Errorf("sim: build policy %s: %w", f.Name, err)
+		cell := obs.StartSpan(em.cellNS)
+		var res *core.Result
+		if p.BatchSize > 1 {
+			bp, ok := pol.(core.BatchSelector)
+			if !ok {
+				return fmt.Errorf("sim: policy %s does not support batching", f.Name)
 			}
-			cell := obs.StartSpan(em.cellNS)
-			var res *core.Result
-			if p.BatchSize > 1 {
-				bp, ok := pol.(core.BatchSelector)
-				if !ok {
-					return fmt.Errorf("sim: policy %s does not support batching", f.Name)
-				}
-				res, err = core.RunBatched(bp, re, p.K, p.BatchSize)
-			} else {
-				res, err = core.Run(pol, re, p.K)
-			}
-			cell.End()
-			if err != nil {
-				return fmt.Errorf("sim: run %s on network %d run %d: %w", f.Name, i, j, err)
-			}
-			em.cells.Inc()
-			select {
-			case records <- Record{Policy: f.Name, Network: i, Run: j, Result: res}:
-			case <-ctx.Done():
-				return nil
-			}
+			res, err = w.runner.RunBatched(bp, re, p.K, p.BatchSize)
+		} else {
+			res, err = w.runner.Run(pol, re, p.K)
+		}
+		cell.End()
+		if err != nil {
+			return fmt.Errorf("sim: run %s on network %d run %d: %w", f.Name, i, j, err)
+		}
+		em.cells.Inc()
+		select {
+		case records <- Record{Policy: f.Name, Network: i, Run: j, Result: res}:
+		case <-ctx.Done():
+			return nil
 		}
 	}
+	nets[i].release(p.Runs)
 	return nil
 }

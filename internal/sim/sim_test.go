@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"sort"
 	"sync/atomic"
@@ -132,6 +134,151 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	for i := range seq {
 		if seq[i] != par[i] {
 			t.Fatalf("cell %d differs: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}
+
+// marshalSortedRecords runs the protocol and returns the full record set
+// — traces, journals and all — serialized in (policy, network, run)
+// order, so two schedules can be compared byte for byte.
+func marshalSortedRecords(t *testing.T, p Protocol, workers int) []byte {
+	t.Helper()
+	p.Workers = workers
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := Run(context.Background(), p, factories, func(r Record) { recs = append(recs, r) }); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		if a.Network != b.Network {
+			return a.Network < b.Network
+		}
+		return a.Run < b.Run
+	})
+	out, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunRecordStreamIdenticalAcrossWorkers pins the cell scheduler's
+// determinism contract: the sorted record stream is byte-identical
+// between Workers=1 and Workers=8, including the single-network shape
+// the old per-network fan-out used to serialize.
+func TestRunRecordStreamIdenticalAcrossWorkers(t *testing.T) {
+	for _, networks := range []int{1, 3} {
+		p := testProtocol()
+		p.Networks = networks
+		p.Runs = 4
+		seq := marshalSortedRecords(t, p, 1)
+		par := marshalSortedRecords(t, p, 8)
+		if !bytes.Equal(seq, par) {
+			t.Errorf("Networks=%d: record streams differ between Workers=1 and Workers=8", networks)
+		}
+	}
+}
+
+// TestRunWorkersExceedNetworks exercises a pool wider than the network
+// grid — impossible under the old scheduler's Networks clamp — and is
+// run under -race in CI to shake out instance-sharing races.
+func TestRunWorkersExceedNetworks(t *testing.T) {
+	p := testProtocol()
+	p.Networks = 2
+	p.Runs = 6
+	p.Workers = 8
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := Run(context.Background(), p, factories, func(Record) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if want := p.Networks * p.Runs * len(factories); n != want {
+		t.Fatalf("records = %d, want %d", n, want)
+	}
+}
+
+// TestRunSingleNetworkCancellation cancels mid-run on the Networks=1
+// shape, where every worker drains cells of the same memoized instance.
+func TestRunSingleNetworkCancellation(t *testing.T) {
+	p := testProtocol()
+	p.Networks = 1
+	p.Runs = 40
+	p.Workers = 4
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	err = Run(ctx, p, factories, func(Record) {
+		if n.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := n.Load(); got >= int64(p.Runs*len(factories)) {
+		t.Errorf("cancellation did not stop the run (%d records)", got)
+	}
+}
+
+// TestRunWorkersClampMetrics checks the clamp is honored at cell (not
+// network) granularity and surfaced through the registry instead of
+// silently downgrading.
+func TestRunWorkersClampMetrics(t *testing.T) {
+	p := testProtocol()
+	p.Networks = 2
+	p.Runs = 3
+	p.Workers = 1000
+	reg := obs.New()
+	p.Metrics = reg
+	factories, err := DefaultFactories(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(context.Background(), p, factories, func(Record) {}); err != nil {
+		t.Fatal(err)
+	}
+	cells := p.Networks * p.Runs
+	if got := reg.Gauge("sim.workers").Value(); got != float64(cells) {
+		t.Errorf("sim.workers = %v, want cell count %d", got, cells)
+	}
+	if got := reg.Gauge("sim.workers_requested").Value(); got != float64(p.Workers) {
+		t.Errorf("sim.workers_requested = %v, want %d", got, p.Workers)
+	}
+	if got := reg.Counter("sim.workers_clamped").Value(); got != 1 {
+		t.Errorf("sim.workers_clamped = %d, want 1", got)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	cases := []struct {
+		networks, runs, workers int
+		want                    int
+		clamped                 bool
+	}{
+		{1, 30, 8, 8, false},   // the shape the old scheduler serialized
+		{1, 4, 8, 4, true},     // explicit request above the cell count
+		{2, 3, 6, 6, false},    // exactly the cell count
+		{100, 30, 8, 8, false}, // paper grid
+	}
+	for _, c := range cases {
+		p := Protocol{Networks: c.networks, Runs: c.runs, Workers: c.workers}
+		got, clamped := p.ResolveWorkers()
+		if got != c.want || clamped != c.clamped {
+			t.Errorf("ResolveWorkers(networks=%d runs=%d workers=%d) = (%d, %v), want (%d, %v)",
+				c.networks, c.runs, c.workers, got, clamped, c.want, c.clamped)
 		}
 	}
 }
