@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test race lint vet accuvet bench clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# lint runs the standard vet suite plus accuvet, the project's own
+# analyzer suite (determinism, seed discipline, metric naming) — once
+# through `go vet -vettool` exactly as CI does, and once standalone so
+# metricname can see duplicate registrations across packages.
+# staticcheck runs too when it is on PATH (CI pins its version).
+lint: vet accuvet
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"
+
+vet:
+	$(GO) vet ./...
+
+accuvet:
+	$(GO) build -o bin/accuvet ./cmd/accuvet
+	$(GO) vet -vettool=$(CURDIR)/bin/accuvet ./...
+	$(GO) run ./cmd/accuvet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+clean:
+	rm -rf bin

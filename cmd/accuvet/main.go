@@ -1,0 +1,169 @@
+// Command accuvet is the project's static-analysis suite: four analyzers
+// (detrand, maporder, seedflow, metricname) that turn the simulator's
+// determinism invariants into compile-time properties. See DESIGN.md
+// "Determinism invariants & static enforcement".
+//
+// It runs in two modes:
+//
+//	accuvet ./...                      # standalone, whole-repo analysis
+//	go vet -vettool=$(which accuvet) ./...   # as a vet tool, per unit
+//
+// Standalone mode loads packages through the go command and additionally
+// checks metric-name/kind collisions across package boundaries; vettool
+// mode follows the -V=full / -flags / unit.cfg protocol the go command
+// expects and inherits vet's build caching.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/accu-sim/accu/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the checker and returns the process exit code: 0 clean,
+// 1 findings, 2 usage or internal failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("accuvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		vFlag     = fs.String("V", "", "print version and exit (-V=full, for the go command)")
+		flagsFlag = fs.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
+		listFlag  = fs.Bool("list", false, "list analyzers and exit")
+		jsonFlag  = fs.Bool("json", false, "emit findings as JSON (standalone mode)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: accuvet [packages]   (default ./...)\n")
+		fmt.Fprintf(stderr, "       go vet -vettool=$(which accuvet) [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *vFlag != "":
+		return printVersion(*vFlag, stdout, stderr)
+	case *flagsFlag:
+		// The go command interrogates supported flags before passing any
+		// through; accuvet exposes none beyond the protocol set.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	case *listFlag:
+		for _, a := range analysis.NewSuite() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetUnitMode(rest[0], stderr)
+	}
+	return standaloneMode(rest, stdout, stderr, *jsonFlag)
+}
+
+// vetUnitMode analyzes one compilation unit under the go vet protocol.
+func vetUnitMode(cfg string, stderr io.Writer) int {
+	diags, fset, err := analysis.VetUnit(cfg, analysis.NewSuite())
+	if err != nil {
+		fmt.Fprintf(stderr, "accuvet: %v\n", err)
+		return 2
+	}
+	return printPlain(stderr, fset, diags)
+}
+
+// standaloneMode loads the patterns from source and analyzes every
+// matched package with one shared suite, so cross-package invariants
+// (metricname's kind table) see the whole tree.
+func standaloneMode(patterns []string, stdout, stderr io.Writer, asJSON bool) int {
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "accuvet: %v\n", err)
+		return 2
+	}
+	suite := analysis.NewSuite()
+	var all []analysis.Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(stderr, "accuvet: %v\n", err)
+			return 2
+		}
+		all = append(all, diags...)
+		fset = pkg.Fset
+	}
+	if asJSON {
+		type finding struct {
+			Pos      string `json:"pos"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(all))
+		for _, d := range all {
+			out = append(out, finding{Pos: fset.Position(d.Pos).String(), Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "accuvet: %v\n", err)
+			return 2
+		}
+		if len(all) > 0 {
+			return 1
+		}
+		return 0
+	}
+	return printPlain(stderr, fset, all)
+}
+
+// printPlain writes findings in the file:line:col form vet users expect
+// and returns the exit code.
+func printPlain(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) int {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion implements the -V=full handshake: the go command hashes
+// the reported line into its build cache key, so the line must identify
+// this exact executable.
+func printVersion(v string, stdout, stderr io.Writer) int {
+	if v != "full" {
+		fmt.Fprintf(stderr, "accuvet: unsupported flag value: -V=%s (use -V=full)\n", v)
+		return 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "accuvet: %v\n", err)
+		return 2
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(stderr, "accuvet: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(stderr, "accuvet: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "%s version devel accuvet buildID=%02x\n", exe, string(h.Sum(nil)))
+	return 0
+}

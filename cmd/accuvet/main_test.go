@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the lint smoke test: the suite must run clean over
+// this repository, exactly as `make lint` / CI invoke it.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"github.com/accu-sim/accu/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("accuvet exit %d on clean repo:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestSyntheticViolationFails builds a throwaway module containing a
+// deterministic-package clock read and asserts the checker fails on it.
+func TestSyntheticViolationFails(t *testing.T) {
+	dir := t.TempDir()
+	corePkg := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(corePkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(dir, "go.mod"): "module example.test\n\ngo 1.22\n",
+		filepath.Join(corePkg, "bad.go"): `package core
+
+import "time"
+
+// Stamp leaks wall-clock time into the record path.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if out := stderr.String(); !strings.Contains(out, "time.Now reads the clock") || !strings.Contains(out, "[detrand]") {
+		t.Fatalf("missing detrand finding in output:\n%s", out)
+	}
+}
+
+// TestListAnalyzers: -list names all four analyzers.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"detrand", "maporder", "seedflow", "metricname"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("missing analyzer %q in -list output:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestVetProtocolFlags: the go command interrogates -flags before
+// passing anything through; the answer must be valid JSON (accuvet
+// exposes no extra flags, so an empty array).
+func TestVetProtocolFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("-flags output = %q, want []", got)
+	}
+}
+
+// TestJSONOutput: findings serialize as JSON with positions.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "github.com/accu-sim/accu/internal/rng"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean package JSON = %q, want []", got)
+	}
+}

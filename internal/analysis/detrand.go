@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Deterministic-package scope for the accuvet suite, as module-relative
+// import-path suffixes.
+var (
+	// strictPackages hold the record path: everything they compute must
+	// be a pure function of the rng.Seed tree. No wall clock, no global
+	// randomness, no environment reads.
+	strictPackages = []string{
+		"internal/core",
+		"internal/osn",
+		"internal/gen",
+		"internal/theory",
+	}
+
+	// timingPackages run or observe the record path but are allowed to
+	// read the clock for spans and profiles. Global randomness and
+	// environment reads remain forbidden.
+	timingPackages = []string{
+		"internal/obs",
+		"internal/prof",
+		"internal/sim",
+	}
+
+	// rngPackage is the one place allowed to construct generators.
+	rngPackage = "internal/rng"
+)
+
+// clockFuncs are the time-package functions that read the wall clock or
+// schedule against it. Pure constructors (time.Date, time.Unix,
+// time.ParseDuration) stay legal everywhere.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// envFuncs are the os-package functions that make behaviour depend on the
+// process environment.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+// Detrand returns the determinism analyzer: in the strict packages it
+// forbids wall-clock reads, the global math/rand generators, ad-hoc
+// generator construction and environment reads; in the timing packages
+// the clock is allowed (obs spans, profiles) but randomness and
+// environment discipline still apply. internal/rng itself is exempt — it
+// is the sanctioned constructor.
+func Detrand() *Analyzer {
+	a := &Analyzer{
+		Name: "detrand",
+		Doc: "forbid nondeterminism sources (time, global rand, env) in the " +
+			"record-path packages; all randomness must flow through internal/rng",
+	}
+	a.Run = func(pass *Pass) error {
+		strict := pkgPathIn(pass.Path, strictPackages)
+		timing := pkgPathIn(pass.Path, timingPackages)
+		if (!strict && !timing) || pkgPathIs(pass.Path, rngPackage) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[id].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					// Methods (e.g. (*rand.Rand).IntN on an explicitly
+					// seeded generator) are the sanctioned pattern.
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if strict && clockFuncs[fn.Name()] {
+						pass.Reportf(id.Pos(),
+							"time.%s reads the clock in deterministic package %s; timing belongs in the obs/prof layers",
+							fn.Name(), pass.Path)
+					}
+				case "os":
+					if envFuncs[fn.Name()] {
+						pass.Reportf(id.Pos(),
+							"os.%s makes %s depend on the process environment; thread configuration through explicit parameters",
+							fn.Name(), pass.Path)
+					}
+				case "math/rand", "math/rand/v2":
+					if fn.Name() == "New" {
+						pass.Reportf(id.Pos(),
+							"rand.New constructs an ad-hoc generator in %s; construct generators only via rng.Seed.Rand",
+							pass.Path)
+					} else {
+						pass.Reportf(id.Pos(),
+							"%s.%s bypasses the internal/rng seed tree in %s; all randomness must derive from an rng.Seed",
+							fn.Pkg().Path(), fn.Name(), pass.Path)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

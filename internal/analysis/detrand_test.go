@@ -1,0 +1,44 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+// stubDeps maps the production import paths the analyzers key on to the
+// fixture stub packages.
+var stubDeps = map[string]string{
+	"example.test/internal/rng": "testdata/src/rng_stub",
+	"example.test/internal/obs": "testdata/src/obs_stub",
+}
+
+func TestDetrandStrictPackage(t *testing.T) {
+	analysistest.Run(t, analysis.Detrand(), analysistest.Fixture{
+		Dir:        "testdata/src/detrand_core",
+		ImportPath: "example.test/internal/core",
+		Deps:       stubDeps,
+	})
+}
+
+func TestDetrandTimingPackage(t *testing.T) {
+	analysistest.Run(t, analysis.Detrand(), analysistest.Fixture{
+		Dir:        "testdata/src/detrand_sim",
+		ImportPath: "example.test/internal/sim",
+		Deps:       stubDeps,
+	})
+}
+
+// TestDetrandOutOfScope re-types the timing fixture under an unscoped
+// import path: the analyzer must stay silent there, global rand and all.
+func TestDetrandOutOfScope(t *testing.T) {
+	_, _, diags := analysistest.Diagnostics(t, analysis.Detrand(), analysistest.Fixture{
+		Dir:        "testdata/src/detrand_sim",
+		ImportPath: "example.test/internal/exp",
+		Deps:       stubDeps,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, want 0", len(diags))
+	}
+}

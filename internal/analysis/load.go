@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the package patterns with the go command, parses and
+// type-checks every matched package from source, and returns them in the
+// order the go command reported. Imports — including in-module imports
+// and the standard library — are resolved through compiler export data
+// produced by `go list -export`, so loading is fully offline and shares
+// the build cache.
+//
+// dir is the working directory for pattern resolution (any directory
+// inside the module); pass "" for the current directory.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export-data index over every listed package and dependency.
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || e.Standard {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if len(e.CgoFiles) > 0 {
+			// Cgo packages cannot be type-checked from source without the
+			// generated files; this module has none, so refuse loudly
+			// rather than silently skipping.
+			return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", e.ImportPath)
+		}
+		pkg, err := checkPackage(fset, imp, e)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ExportData resolves compiler export-data files for the named packages
+// and their transitive dependencies via `go list -deps -export`. The
+// fixture harness uses it to type-check testdata packages against the
+// real standard library without network access.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// ExportImporter returns a types.Importer that resolves packages through
+// compiler export-data files, keyed by package path.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// goList runs `go list -deps -export -json` over the patterns.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := []string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Incomplete,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, error) {
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(e.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	return TypeCheck(fset, imp, e.ImportPath, files)
+}
+
+// TypeCheck type-checks a parsed package under the given importer. It is
+// the common entry point for the loader, the unitchecker driver and the
+// test fixture harness.
+func TypeCheck(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	dir := ""
+	if len(files) > 0 {
+		dir = filepath.Dir(fset.Position(files[0].Pos()).Filename)
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

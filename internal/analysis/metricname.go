@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/accu-sim/accu/internal/obs"
+)
+
+// registryMethods maps obs.Registry lookup methods to the instrument
+// kind they register. StartSpan and Time record into histograms.
+var registryMethods = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"Histogram": "histogram",
+	"StartSpan": "histogram",
+	"Time":      "histogram",
+}
+
+// metricUse remembers where a metric name was first registered and as
+// what kind, for cross-package duplicate detection.
+type metricUse struct {
+	kind string
+	pos  token.Position
+}
+
+// MetricNames returns the metric-name analyzer: every constant string
+// reaching an obs.Registry lookup (Counter, Gauge, Histogram, StartSpan,
+// Time) must match obs.NamePattern, and one name must resolve to one
+// instrument kind everywhere in the tree — the same name reaching both
+// Counter and Histogram is a collision that would silently shear a
+// metrics dump.
+//
+// The returned analyzer carries the cross-package duplicate table, so
+// each checker run (and each test) must construct a fresh instance via
+// NewSuite or MetricNames. Non-constant names cannot be checked here;
+// obs.TestRegistryNames guards those at run time.
+func MetricNames() *Analyzer {
+	seen := make(map[string]metricUse)
+	a := &Analyzer{
+		Name: "metricname",
+		Doc: "require constant metric names reaching obs.Registry to match " +
+			obs.NamePattern + " and to keep one kind per name repo-wide",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := pass.Info.Selections[fun]
+				if !ok {
+					return true
+				}
+				m, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return true
+				}
+				kind, ok := registryMethods[m.Name()]
+				if !ok || !isObsRegistryMethod(m) || len(call.Args) == 0 {
+					return true
+				}
+				tv, ok := pass.Info.Types[call.Args[0]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true // dynamic name; covered by the runtime guard
+				}
+				name := constant.StringVal(tv.Value)
+				if !obs.ValidName(name) {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric name %q does not match %s (dot-separated lowercase snake_case, subsystem first)",
+						name, obs.NamePattern)
+					return true
+				}
+				if prev, dup := seen[name]; dup && prev.kind != kind {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric %q used as %s here but registered as %s at %s; one name must keep one kind",
+						name, kind, prev.kind, prev.pos)
+				} else if !dup {
+					seen[name] = metricUse{kind: kind, pos: pass.Fset.Position(call.Args[0].Pos())}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isObsRegistryMethod reports whether m is a method of the obs Registry
+// type (matched by declaring package path so test fixtures with a stub
+// obs package are recognized too).
+func isObsRegistryMethod(m *types.Func) bool {
+	pkg := receiverPkgPath(m)
+	if !(strings.HasSuffix(pkg, "internal/obs") || pkg == "obs") {
+		return false
+	}
+	return receiverTypeName(m) == "Registry"
+}

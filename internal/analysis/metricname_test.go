@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, analysis.MetricNames(), analysistest.Fixture{
+		Dir:        "testdata/src/metricname_sim",
+		ImportPath: "example.test/internal/sim",
+		Deps:       stubDeps,
+	})
+}
+
+// TestMetricNamesFreshState: each MetricNames instance carries its own
+// duplicate table, so two runs over the same fixture must behave
+// identically (a shared table would report spurious cross-run
+// collisions).
+func TestMetricNamesFreshState(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		analysistest.Run(t, analysis.MetricNames(), analysistest.Fixture{
+			Dir:        "testdata/src/metricname_sim",
+			ImportPath: "example.test/internal/sim",
+			Deps:       stubDeps,
+		})
+	}
+}

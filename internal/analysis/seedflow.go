@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SeedFlow returns the seed-discipline analyzer: an rng.Seed held in a
+// local variable or parameter must be re-derived (Split / SplitN) before
+// each consumer. Passing the same seed value to two sinks — two calls,
+// two .Rand() constructions, or one sink inside a loop — replays the
+// identical stream in both places, the exact bug class the cell
+// scheduler's per-cell seed tree exists to prevent.
+//
+// Receiver positions of Split/SplitN are derivations and may repeat
+// freely (splitting is pure). Aliasing assignments and returns are not
+// counted; intentional paired-stream designs should use an
+// //accu:allow seedflow directive with the reason.
+func SeedFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "seedflow",
+		Doc: "require rng.Seed values to be split per consumer; the same seed " +
+			"reaching two sinks replays one stream twice",
+	}
+	a.Run = func(pass *Pass) error {
+		type sink struct {
+			pos    token.Pos
+			weight int
+		}
+		sinks := make(map[*types.Var][]sink)
+
+		inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok || obj.IsField() || !isSeedType(obj.Type()) {
+				return true
+			}
+			if !seedUseIsSink(pass, id, stack) {
+				return true
+			}
+			weight := 1
+			if enclosedByLoopOutsideDecl(stack, obj) {
+				weight = 2
+			}
+			sinks[obj] = append(sinks[obj], sink{pos: id.Pos(), weight: weight})
+			return true
+		})
+
+		for obj, uses := range sinks {
+			total := 0
+			for _, u := range uses {
+				total += u.weight
+			}
+			if total < 2 {
+				continue
+			}
+			// Report at the site that tipped the seed into reuse: the
+			// second sink, or the sole in-loop sink.
+			at := uses[len(uses)-1].pos
+			if len(uses) > 1 {
+				at = uses[1].pos
+			}
+			pass.Reportf(at,
+				"seed %q reaches %d sinks without re-derivation; derive one child per consumer with %s.Split(label) or SplitN",
+				obj.Name(), total, obj.Name())
+		}
+		return nil
+	}
+	return a
+}
+
+// isSeedType reports whether t is internal/rng.Seed (directly or behind
+// one pointer).
+func isSeedType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Seed" && (objectPkgIs(obj, "internal/rng") || objectPkgIs(obj, "rng"))
+}
+
+// seedUseIsSink classifies one appearance of a seed-typed identifier.
+// Sinks consume the stream: receiver of .Rand(), argument to any call,
+// or value stored into a composite literal. Derivations (receiver of
+// .Split / .SplitN) and plain aliasing are not sinks.
+func seedUseIsSink(pass *Pass, id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != id {
+			return false
+		}
+		// Method call on the seed: Split/SplitN derive, Rand consumes.
+		if len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == parent {
+				switch p.Sel.Name {
+				case "Split", "SplitN":
+					return false
+				case "Rand":
+					return true
+				}
+			}
+		}
+		// Bare method value (seed.Rand passed as func) — treat as sink.
+		return p.Sel.Name == "Rand"
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if arg == id {
+				return true
+			}
+		}
+		return false
+	case *ast.KeyValueExpr:
+		return p.Value == id && isCompositeLitEntry(stack)
+	case *ast.CompositeLit:
+		for _, elt := range p.Elts {
+			if elt == id {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isCompositeLitEntry reports whether the KeyValueExpr at the top of the
+// stack belongs to a composite literal (as opposed to nothing else —
+// KeyValueExpr only appears there, but keep the check explicit).
+func isCompositeLitEntry(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	_, ok := stack[len(stack)-2].(*ast.CompositeLit)
+	return ok
+}
+
+// enclosedByLoopOutsideDecl reports whether the current node sits inside
+// a for/range statement that does not itself contain obj's declaration —
+// i.e. the same seed value is consumed on every iteration.
+func enclosedByLoopOutsideDecl(stack []ast.Node, obj *types.Var) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if !(n.Pos() <= obj.Pos() && obj.Pos() <= n.End()) {
+				return true
+			}
+		}
+	}
+	return false
+}

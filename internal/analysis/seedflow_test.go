@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestSeedFlow(t *testing.T) {
+	analysistest.Run(t, analysis.SeedFlow(), analysistest.Fixture{
+		Dir:        "testdata/src/seedflow_sim",
+		ImportPath: "example.test/internal/sim",
+		Deps:       stubDeps,
+	})
+}

@@ -1,0 +1,21 @@
+package analysis
+
+// NewSuite returns fresh instances of the four accuvet analyzers, in the
+// order they report:
+//
+//	detrand    — no clock / global rand / env reads on the record path
+//	maporder   — no order-dependent effects under map iteration
+//	seedflow   — one Split per seed consumer
+//	metricname — obs metric names match the convention, one kind per name
+//
+// Instances hold per-run state (metricname's cross-package duplicate
+// table), so every checker invocation must call NewSuite rather than
+// sharing analyzers globally.
+func NewSuite() []*Analyzer {
+	return []*Analyzer{
+		Detrand(),
+		MapOrder(),
+		SeedFlow(),
+		MetricNames(),
+	}
+}

@@ -1,0 +1,23 @@
+// Fixture: detrand in a timing-allowed package (type-checked as
+// .../internal/sim). The clock is legal here — spans need it — but
+// global randomness and environment reads remain forbidden.
+package sim
+
+import (
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+func spanTiming() time.Duration {
+	start := time.Now() // clock allowed in timing packages
+	return time.Since(start)
+}
+
+func stillNoGlobalRand() int {
+	return rand.IntN(4) // want `math/rand/v2\.IntN bypasses the internal/rng seed tree`
+}
+
+func stillNoEnv() string {
+	return os.Getenv("ACCU_WORKERS") // want `os\.Getenv makes .* depend on the process environment`
+}

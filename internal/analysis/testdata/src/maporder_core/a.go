@@ -1,0 +1,71 @@
+// Fixture: maporder in a strict deterministic package (type-checked as
+// .../internal/core). Map iteration whose body has order-dependent
+// effects must be flagged; order-insensitive reductions and slice
+// iteration stay legal.
+package core
+
+import (
+	"math/rand/v2"
+
+	"example.test/internal/obs"
+)
+
+// Journal stands in for a record sink.
+type Journal struct{ users []int }
+
+// RecordBatch appends one batch of users.
+func (j *Journal) RecordBatch(users []int) { j.users = append(j.users, users...) }
+
+func appendsUnderMap(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // want `map iteration order is random, but this loop body appends to a slice`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func drawsUnderMap(m map[int]float64, r *rand.Rand) float64 {
+	var total float64
+	for range m { // want `map iteration order is random, but this loop body consumes random numbers \(Rand\.Float64\)`
+		total += r.Float64()
+	}
+	return total
+}
+
+func countsUnderMap(m map[string]int, reg *obs.Registry) {
+	c := reg.Counter("core.map_hits")
+	for range m { // want `map iteration order is random, but this loop body updates obs instrument Counter\.Inc`
+		c.Inc()
+	}
+}
+
+func recordsUnderMap(m map[int]bool, j *Journal) {
+	for u := range m { // want `map iteration order is random, but this loop body writes records via RecordBatch`
+		j.RecordBatch([]int{u})
+	}
+}
+
+func reductionIsFine(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sliceAppendIsFine(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func allowedWithReason(m map[int]float64) []int {
+	var keys []int
+	//accu:allow maporder -- fixture: sorted by the caller
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,39 @@
+// Fixture: metricname (scope is module-wide; type-checked as
+// .../internal/sim). Constant names reaching obs.Registry lookups must
+// match the convention and keep one instrument kind per name; dynamic
+// names are left to the runtime guard in internal/obs.
+package sim
+
+import "example.test/internal/obs"
+
+const prefix = "sim."
+
+func conformingNames(reg *obs.Registry) {
+	reg.Counter("sim.cells").Inc()
+	reg.Gauge("sim.workers").Set(4)
+	reg.Histogram("sim.cell_ns").Observe(12)
+	reg.StartSpan("sim.network_ns").End()
+	reg.Time("sim.wall_ns", func() {})
+	reg.Counter(prefix + "folded_constant").Inc()
+}
+
+func badShapes(reg *obs.Registry) {
+	reg.Counter("CamelCase.cells").Inc()  // want `metric name "CamelCase\.cells" does not match`
+	reg.Gauge("nodots").Set(1)            // want `metric name "nodots" does not match`
+	reg.Histogram("sim.cell-ns").Observe(1) // want `metric name "sim\.cell-ns" does not match`
+	reg.StartSpan("sim..double").End()    // want `metric name "sim\.\.double" does not match`
+}
+
+func kindCollision(reg *obs.Registry) {
+	reg.Histogram("sim.queue_depth").Observe(3)
+	reg.Counter("sim.queue_depth").Inc() // want `metric "sim\.queue_depth" used as counter here but registered as histogram`
+}
+
+func dynamicNameIsRuntimeChecked(reg *obs.Registry, policy string) {
+	reg.Counter("sim.policy." + policy).Inc()
+}
+
+func allowedLegacyName(reg *obs.Registry) {
+	//accu:allow metricname -- fixture: grandfathered dashboard name
+	reg.Counter("legacy_total").Inc()
+}

@@ -1,0 +1,74 @@
+// Fixture: seedflow (scope is module-wide; type-checked as
+// .../internal/sim). The same rng.Seed value reaching two sinks — two
+// calls, two .Rand() constructions, or one sink inside a loop — must be
+// flagged; per-consumer Split/SplitN derivations stay legal.
+package sim
+
+import "example.test/internal/rng"
+
+// Config carries a seed onward.
+type Config struct {
+	Seed rng.Seed
+	K    int
+}
+
+func build(seed rng.Seed) error   { _ = seed; return nil }
+func sample(seed rng.Seed) error  { _ = seed; return nil }
+func consume(r interface{}) error { _ = r; return nil }
+
+func twoCallSinks(seed rng.Seed) error {
+	if err := build(seed); err != nil {
+		return err
+	}
+	return sample(seed) // want `seed "seed" reaches 2 sinks without re-derivation`
+}
+
+func twoRandConstructions(seed rng.Seed) (int, int) {
+	a := seed.Rand().IntN(10)
+	b := seed.Rand().IntN(10) // want `seed "seed" reaches 2 sinks without re-derivation`
+	return a, b
+}
+
+func sinkInsideLoop(seed rng.Seed, n int) error {
+	for i := 0; i < n; i++ {
+		if err := sample(seed); err != nil { // want `seed "seed" reaches 2 sinks without re-derivation`
+			return err
+		}
+	}
+	return nil
+}
+
+func splitPerConsumerIsFine(seed rng.Seed, n int) error {
+	if err := build(seed.Split("build")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := sample(seed.SplitN("run", i)); err != nil {
+			return err
+		}
+	}
+	return consume(seed.Split("consume").Rand())
+}
+
+func perIterationSeedIsFine(root rng.Seed, n int) error {
+	for i := 0; i < n; i++ {
+		child := root.SplitN("cell", i)
+		if err := sample(child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func compositeThenCallSink(seed rng.Seed) (Config, error) {
+	cfg := Config{Seed: seed, K: 5}
+	return cfg, build(seed) // want `seed "seed" reaches 2 sinks without re-derivation`
+}
+
+func allowedPairedDesign(seed rng.Seed) error {
+	if err := build(seed); err != nil {
+		return err
+	}
+	//accu:allow seedflow -- fixture: intentional paired comparison
+	return sample(seed)
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig is the JSON description of one compilation unit that the go
+// command hands to a -vettool. The field set mirrors the contract
+// implemented by golang.org/x/tools unitchecker, which is the de-facto
+// specification of the protocol.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // package path -> facts file
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetUnit analyzes the single compilation unit described by the .cfg
+// file, per the `go vet -vettool` protocol, and returns its findings.
+//
+// The go command merges a package's in-package test files into the same
+// unit as its production files, so the unit is type-checked whole but
+// only non-test files are analyzed: tests legitimately read the clock,
+// build ad-hoc generators and use short metric names. External-test
+// units (_test packages) therefore analyze to nothing.
+//
+// The suite exchanges no cross-unit facts, so the facts output file (if
+// requested) is written empty; go vet only needs it to exist for its
+// build cache.
+func VetUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("analysis: cannot decode vet config %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return nil, fset, nil
+	}
+
+	var files, prodFiles []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, fset, nil
+			}
+			return nil, nil, err
+		}
+		files = append(files, f)
+		if !strings.HasSuffix(name, "_test.go") {
+			prodFiles = append(prodFiles, f)
+		}
+	}
+	if len(prodFiles) == 0 {
+		return nil, fset, nil
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("analysis: can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	pkg, err := TypeCheck(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, fset, nil
+		}
+		return nil, nil, err
+	}
+	// Analyzers see only the production files; the test files were
+	// needed for type-checking the merged unit.
+	pkg.Files = prodFiles
+	diags, err := RunAnalyzers(pkg, analyzers)
+	return diags, fset, err
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

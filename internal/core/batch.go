@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/accu-sim/accu/internal/osn"
 )
@@ -20,19 +21,22 @@ type BatchSelector interface {
 // SelectBatch implements BatchSelector for ABM: it pops the b freshest
 // highest-potential candidates; all are scored against the pre-batch
 // state, exactly the information available to a batching attacker.
+//
+// The returned slice itself is the dedup structure — an
+// insertion-ordered set probed linearly. Batches are small (b ≪ n), so
+// the scan beats a map allocation on the hot path, and unlike a map it
+// can never leak iteration order into selection.
 func (a *ABM) SelectBatch(st *osn.State, b int) []int {
 	out := make([]int, 0, b)
-	seen := make(map[int]struct{}, b)
 	for len(out) < b && a.pq.Len() > 0 {
 		e := a.pq.pop()
 		u := int(e.user)
 		if st.Requested(u) || e.version != a.version[u] {
 			continue
 		}
-		if _, dup := seen[u]; dup {
+		if slices.Contains(out, u) {
 			continue
 		}
-		seen[u] = struct{}{}
 		out = append(out, u)
 	}
 	return out

@@ -144,3 +144,35 @@ func TestRunBatchedExhaustsCandidates(t *testing.T) {
 		t.Errorf("steps = %d", len(res.Steps))
 	}
 }
+
+// TestRunBatchedDeterministicAcrossRuns guards the dedup structure in
+// ABM.SelectBatch: batch selection must be a pure function of the
+// realization, so repeated runs from fresh policies yield byte-identical
+// step sequences (a map-backed dedup could leak iteration order here).
+func TestRunBatchedDeterministicAcrossRuns(t *testing.T) {
+	inst := randomInstance(t, 900)
+	re := inst.SampleRealization(rng.NewSeed(11, 4))
+	var first []Step
+	for trial := 0; trial < 5; trial++ {
+		abm, err := NewABM(DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunBatched(abm, re, 50, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = res.Steps
+			continue
+		}
+		if len(res.Steps) != len(first) {
+			t.Fatalf("trial %d: %d steps, want %d", trial, len(res.Steps), len(first))
+		}
+		for i := range first {
+			if res.Steps[i] != first[i] {
+				t.Fatalf("trial %d step %d: %+v != %+v", trial, i, res.Steps[i], first[i])
+			}
+		}
+	}
+}

@@ -111,6 +111,7 @@ func ExtDefense(ctx context.Context, cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: extdefense %s: %w", s.name, err)
 		}
+		//accu:allow seedflow -- paired design: every strategy replays the same realizations
 		after, err := defense.Analyze(ctx, hardened, defense.ABMAttacker(), runs, cfg.K, seed)
 		if err != nil {
 			return nil, fmt.Errorf("exp: extdefense %s: %w", s.name, err)

@@ -372,6 +372,7 @@ func (w *worker) policy(f PolicyFactory, fi int, seed rng.Seed) (core.Policy, er
 		cached.Reseed(seed)
 		return cached, nil
 	}
+	//accu:allow seedflow -- exclusive branch: reuse path returned above
 	pol, err := f.New(seed)
 	if err != nil {
 		return nil, fmt.Errorf("sim: build policy %s: %w", f.Name, err)
