@@ -181,7 +181,35 @@ type (
 	// Summary aggregates Monte-Carlo records per policy (final benefit,
 	// cautious friends, benefit-vs-k curves).
 	Summary = sim.Summary
+	// Builder constructs an Instance from a generated graph; Setup
+	// satisfies it, and wrappers (caching, fault injection) slot into
+	// Protocol.Setup through it.
+	Builder = sim.Builder
+	// Checkpointer persists completed Monte-Carlo cells so an interrupted
+	// grid can resume without recomputation (Protocol.Checkpoint).
+	Checkpointer = sim.Checkpointer
+	// CellKey identifies one (network, run) Monte-Carlo cell.
+	CellKey = sim.CellKey
+	// CellJournal is the append-only JSONL Checkpointer.
+	CellJournal = sim.CellJournal
+	// CellError describes one failed Monte-Carlo cell.
+	CellError = sim.CellError
+	// FailureSummary reports the cells that failed during a run with
+	// Protocol.ContinueOnError set; MonteCarlo returns it as the error.
+	FailureSummary = sim.FailureSummary
 )
+
+// ErrCellTimeout is wrapped by cell errors whose attempts exceeded
+// Protocol.CellTimeout.
+var ErrCellTimeout = sim.ErrCellTimeout
+
+// OpenCellJournal opens (resume=true) or creates (resume=false) the cell
+// journal at path for use as a Protocol.Checkpoint. On resume, feed the
+// already-completed cells to your collector with Replay before starting
+// the run.
+func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
+	return sim.OpenCellJournal(path, resume)
+}
 
 // Observability types, re-exported from the metrics layer.
 type (

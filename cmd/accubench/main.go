@@ -53,6 +53,10 @@ func run(args []string, out *os.File) error {
 		seed     = fs.Uint64("seed", 20191243, "root random seed")
 		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 
+		checkpoint = fs.String("checkpoint", "", "journal completed Monte-Carlo cells to this directory (one JSONL file per protocol)")
+		resume     = fs.Bool("resume", false, "reopen journals in the -checkpoint directory and compute only missing cells")
+		keepGoing  = fs.Bool("keep-going", false, "continue past failed Monte-Carlo cells and report them as warnings")
+
 		metrics    = fs.Bool("metrics", false, "collect engine metrics and print a table after each report")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -80,15 +84,27 @@ func run(args []string, out *os.File) error {
 		ids = accu.Experiments()
 	}
 
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *checkpoint != "" {
+		if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+			return fmt.Errorf("create checkpoint directory: %w", err)
+		}
+	}
+
 	cfg := accu.ExperimentConfig{
-		Scale:       *scale,
-		Networks:    *networks,
-		Runs:        *runs,
-		K:           *k,
-		NumCautious: *cautious,
-		Weights:     accu.Weights{WD: *wd, WI: *wi},
-		Seed:        accu.NewSeed(*seed, *seed^0x9e3779b97f4a7c15),
-		Workers:     *workers,
+		Scale:         *scale,
+		Networks:      *networks,
+		Runs:          *runs,
+		K:             *k,
+		NumCautious:   *cautious,
+		Weights:       accu.Weights{WD: *wd, WI: *wi},
+		Seed:          accu.NewSeed(*seed, *seed^0x9e3779b97f4a7c15),
+		Workers:       *workers,
+		CheckpointDir: *checkpoint,
+		Resume:        *resume,
+		KeepGoing:     *keepGoing,
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")

@@ -18,6 +18,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -88,6 +89,10 @@ func run(args []string, out io.Writer) error {
 		runs     = fs.Int("runs", 1, "repeat the attack over N realizations and print summary stats")
 		workers  = fs.Int("workers", 0, "worker pool for -runs > 1 (0 = GOMAXPROCS)")
 
+		checkpoint = fs.String("checkpoint", "", "journal completed cells to this JSONL file (-runs > 1 only)")
+		resume     = fs.Bool("resume", false, "resume from an existing -checkpoint journal")
+		keepGoing  = fs.Bool("keep-going", false, "continue past failed cells and report them as warnings (-runs > 1 only)")
+
 		metrics    = fs.Bool("metrics", false, "print policy/environment metrics after the trace")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -120,6 +125,9 @@ func run(args []string, out io.Writer) error {
 	if *runs < 1 {
 		return fmt.Errorf("-runs %d must be >= 1", *runs)
 	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
 	if *runs > 1 {
 		if *asJSON || *journal != "" {
 			return fmt.Errorf("-runs > 1 prints summary statistics; -json and -journal apply to single runs only")
@@ -128,7 +136,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runRepeated(out, generator, setup, factory, *k, *runs, *workers, root, reg)
+		return runRepeated(out, generator, setup, factory, *k, *runs, *workers, root, reg,
+			*checkpoint, *resume, *keepGoing)
+	}
+	if *checkpoint != "" || *keepGoing {
+		return fmt.Errorf("-checkpoint and -keep-going apply to the -runs > 1 Monte-Carlo mode only")
 	}
 	g, err := generator.Generate(root.Split("network"))
 	if err != nil {
@@ -248,17 +260,20 @@ func policyFactory(name string, wd, wi float64, reg *accu.Metrics) (accu.PolicyF
 
 // runRepeated executes the -runs > 1 mode: one network, many realizations,
 // fanned out over the cell-level scheduler, summarized as distribution
-// statistics rather than a per-request trace.
-func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, factory accu.PolicyFactory, k, runs, workers int, root accu.Seed, reg *accu.Metrics) error {
+// statistics rather than a per-request trace. With checkpoint set,
+// completed cells journal to that file and a resumed invocation replays
+// them into the statistics before computing only what is missing.
+func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, factory accu.PolicyFactory, k, runs, workers int, root accu.Seed, reg *accu.Metrics, checkpoint string, resume, keepGoing bool) error {
 	protocol := accu.Protocol{
-		Gen:      generator,
-		Setup:    setup,
-		Networks: 1,
-		Runs:     runs,
-		K:        k,
-		Seed:     root,
-		Workers:  workers,
-		Metrics:  reg,
+		Gen:             generator,
+		Setup:           setup,
+		Networks:        1,
+		Runs:            runs,
+		K:               k,
+		Seed:            root,
+		Workers:         workers,
+		Metrics:         reg,
+		ContinueOnError: keepGoing,
 	}
 	resolved, clamped := protocol.ResolveWorkers()
 	if clamped {
@@ -273,8 +288,7 @@ func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, fact
 		sumFriends         int
 		sumCautiousFriends int
 	)
-	start := time.Now()
-	err := accu.MonteCarlo(context.Background(), protocol, []accu.PolicyFactory{factory}, func(r accu.Record) {
+	collect := func(r accu.Record) {
 		n++
 		b := r.Result.Benefit
 		sum += b
@@ -283,9 +297,39 @@ func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, fact
 		maxB = math.Max(maxB, b)
 		sumFriends += r.Result.Friends
 		sumCautiousFriends += r.Result.CautiousFriends
-	})
+	}
+
+	var cells *accu.CellJournal
+	if checkpoint != "" {
+		j, err := accu.OpenCellJournal(checkpoint, resume)
+		if err != nil {
+			return err
+		}
+		cells = j
+		if replayed := cells.Cells(); replayed > 0 {
+			fmt.Fprintf(os.Stderr, "accurun: resuming %d completed cell(s) from %s\n", replayed, checkpoint)
+		}
+		cells.Replay(collect)
+		protocol.Checkpoint = cells
+	}
+
+	start := time.Now()
+	err := accu.MonteCarlo(context.Background(), protocol, []accu.PolicyFactory{factory}, collect)
+	if cells != nil {
+		if cerr := cells.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close checkpoint journal: %w", cerr)
+		}
+	}
+	var fsum *accu.FailureSummary
+	if keepGoing && errors.As(err, &fsum) {
+		fmt.Fprintf(os.Stderr, "accurun: warning: %v\n", fsum)
+		err = nil
+	}
 	if err != nil {
 		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("no cells completed")
 	}
 	wall := time.Since(start)
 

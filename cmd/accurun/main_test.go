@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -158,6 +159,60 @@ func TestRepeatedRunsRejectsJSON(t *testing.T) {
 	}
 	if err := run([]string{"-runs", "0"}, &buf); err == nil {
 		t.Error("-runs 0: want error")
+	}
+}
+
+// TestCheckpointResume runs the same Monte-Carlo protocol twice against
+// one journal: the resumed invocation must replay every cell instead of
+// recomputing and print the identical summary.
+func TestCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "cells.jsonl")
+	summary := func(resume bool) string {
+		args := []string{
+			"-preset", "slashdot", "-scale", "0.02", "-k", "10",
+			"-cautious", "5", "-runs", "5", "-checkpoint", ckpt,
+		}
+		if resume {
+			args = append(args, "-resume")
+		}
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for _, l := range strings.Split(buf.String(), "\n") {
+			if !strings.HasPrefix(l, "timing:") {
+				lines = append(lines, l)
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	first := summary(false)
+	second := summary(true)
+	if first != second {
+		t.Errorf("resumed summary differs:\n-- first --\n%s\n-- resumed --\n%s", first, second)
+	}
+	// Without -resume an existing journal must be refused, not mixed into.
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "slashdot", "-scale", "0.02", "-k", "10",
+		"-cautious", "5", "-runs", "5", "-checkpoint", ckpt,
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Errorf("reusing journal without -resume: err = %v, want refusal", err)
+	}
+}
+
+func TestCheckpointFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-resume"}, &buf); err == nil {
+		t.Error("-resume without -checkpoint: want error")
+	}
+	if err := run([]string{"-checkpoint", "x.jsonl"}, &buf); err == nil {
+		t.Error("-checkpoint on a single run: want error")
+	}
+	if err := run([]string{"-keep-going"}, &buf); err == nil {
+		t.Error("-keep-going on a single run: want error")
 	}
 }
 

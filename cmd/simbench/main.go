@@ -18,6 +18,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	accu "github.com/accu-sim/accu"
+	"github.com/accu-sim/accu/internal/sim/fault"
 )
 
 // shape is one Monte-Carlo grid configuration to measure.
@@ -43,6 +45,7 @@ type result struct {
 	Workers         int     `json:"workers"`
 	ResolvedWorkers int     `json:"resolvedWorkers"`
 	Cells           int     `json:"cells"`
+	FailedCells     int     `json:"failedCells,omitempty"`
 	Seconds         float64 `json:"seconds"`
 	CellsPerSec     float64 `json:"cellsPerSec"`
 	AllocsPerCell   float64 `json:"allocsPerCell"`
@@ -76,6 +79,7 @@ type config struct {
 	out      string
 	shapes   []shape
 	workers  []int
+	chaos    bool
 }
 
 // parseFlags resolves the command line into a config.
@@ -91,11 +95,12 @@ func parseFlags(args []string) (config, error) {
 		shapes   = fs.String("shapes", "1x30,16x2", "comma-separated networksxruns grid shapes")
 		workers  = fs.String("workers", "1,4,8", "comma-separated worker counts")
 		quick    = fs.Bool("quick", false, "CI smoke sizing (tiny grids, overrides -shapes)")
+		chaos    = fs.Bool("chaos", false, "inject seeded faults (failing/stalling cells) and run with continue-on-error + retries")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
-	c := config{preset: *preset, scale: *scale, k: *k, cautious: *cautious, seed: *seed, out: *out}
+	c := config{preset: *preset, scale: *scale, k: *k, cautious: *cautious, seed: *seed, out: *out, chaos: *chaos}
 	if *quick {
 		*shapes = "1x6,4x2"
 		c.k = 10
@@ -139,6 +144,20 @@ func run(args []string, logw *os.File) error {
 	if err != nil {
 		return err
 	}
+	if cfg.chaos {
+		// Seeded fault injection: a few percent of networks refuse to
+		// generate, a tenth of policy cells fail at init, a few stall
+		// briefly. The grid must still complete (ContinueOnError) and
+		// transient policy faults get one reseeded retry.
+		generator = fault.Generator{Inner: generator, Rates: fault.Rates{Fail: 0.02}}
+		for i := range factories {
+			factories[i] = fault.Factory(factories[i], fault.Rates{
+				Fail:     0.10,
+				Stall:    0.05,
+				StallFor: 2 * time.Millisecond,
+			})
+		}
+	}
 
 	out := output{
 		Preset:     cfg.preset,
@@ -159,12 +178,16 @@ func run(args []string, logw *os.File) error {
 				Workers:  workers,
 				Metrics:  accu.NewMetrics(),
 			}
+			if cfg.chaos {
+				protocol.ContinueOnError = true
+				protocol.Retries = 1
+			}
 			r, err := measure(protocol, factories)
 			if err != nil {
 				return fmt.Errorf("networks=%d runs=%d workers=%d: %w", sh.Networks, sh.Runs, workers, err)
 			}
-			fmt.Fprintf(logw, "networks=%-3d runs=%-3d workers=%-2d (resolved %d): %8.1f cells/sec, %7.1f allocs/cell, util %d%%\n",
-				r.Networks, r.Runs, r.Workers, r.ResolvedWorkers, r.CellsPerSec, r.AllocsPerCell, r.UtilizationPct)
+			fmt.Fprintf(logw, "networks=%-3d runs=%-3d workers=%-2d (resolved %d): %8.1f cells/sec, %7.1f allocs/cell, util %d%%, %d failed cells\n",
+				r.Networks, r.Runs, r.Workers, r.ResolvedWorkers, r.CellsPerSec, r.AllocsPerCell, r.UtilizationPct, r.FailedCells)
 			out.Results = append(out.Results, r)
 		}
 	}
@@ -192,6 +215,13 @@ func measure(p accu.Protocol, factories []accu.PolicyFactory) (result, error) {
 	err := accu.MonteCarlo(context.Background(), p, factories, func(accu.Record) { cells++ })
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
+	failed := 0
+	var fsum *accu.FailureSummary
+	if p.ContinueOnError && errors.As(err, &fsum) {
+		// Chaos mode: degraded-but-complete is the expected outcome.
+		failed = len(fsum.Failures)
+		err = nil
+	}
 	if err != nil {
 		return result{}, err
 	}
@@ -204,6 +234,7 @@ func measure(p accu.Protocol, factories []accu.PolicyFactory) (result, error) {
 		Workers:         p.Workers,
 		ResolvedWorkers: resolved,
 		Cells:           cells,
+		FailedCells:     failed,
 		Seconds:         secs,
 		UtilizationPct:  p.Metrics.Histogram("sim.worker_utilization_pct").Max(),
 	}

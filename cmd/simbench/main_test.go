@@ -43,6 +43,47 @@ func TestRunWritesReport(t *testing.T) {
 	}
 }
 
+// TestChaosModeCompletes is the fault-tolerance smoke: under injected
+// generator and policy faults the benchmark must still finish every
+// shape and account for each grid cell as either collected or failed.
+func TestChaosModeCompletes(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "chaos.json")
+	err := run([]string{
+		"-quick",
+		"-chaos",
+		"-scale", "0.01",
+		"-k", "5",
+		"-workers", "1,2",
+		"-out", outPath,
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got output
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if want := 2 * 2; len(got.Results) != want {
+		t.Fatalf("results = %d, want %d", len(got.Results), want)
+	}
+	anyFailed := false
+	for _, r := range got.Results {
+		// A failed (network, run) cell loses all of its policy records.
+		if want := (r.Networks*r.Runs - r.FailedCells) * r.Policies; r.Cells != want {
+			t.Errorf("shape %dx%d: cells = %d with %d failed, want %d",
+				r.Networks, r.Runs, r.Cells, r.FailedCells, want)
+		}
+		anyFailed = anyFailed || r.FailedCells > 0
+	}
+	if !anyFailed {
+		t.Error("chaos mode injected no failures across any shape; rates or seed wiring broken")
+	}
+}
+
 func TestParseFlagsRejectsBadShapes(t *testing.T) {
 	for _, args := range [][]string{
 		{"-shapes", "abc"},

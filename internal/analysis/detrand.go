@@ -25,6 +25,9 @@ var (
 		"internal/obs",
 		"internal/prof",
 		"internal/sim",
+		// Fault injection stalls on the clock by design; its randomness
+		// still flows through the seed tree.
+		"internal/sim/fault",
 	}
 
 	// rngPackage is the one place allowed to construct generators.

@@ -64,8 +64,9 @@ func claimSummary(ctx context.Context, cfg Config, dataset string, w core.Weight
 		return nil, err
 	}
 	sum := sim.NewSummary(nil)
-	protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("claims-"+label+"-"+dataset))
-	if err := sim.Run(ctx, protocol, factories, sum.Collect); err != nil {
+	name := "claims-" + label + "-" + dataset
+	protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split(name))
+	if err := cfg.run(ctx, name, protocol, factories, sum.Collect); err != nil {
 		return nil, err
 	}
 	return sum, nil
@@ -200,8 +201,9 @@ func paperClaims() []claim {
 					setup := cfg.setup()
 					setup.ThetaFraction = tf
 					var acc stats.Welford
-					protocol := cfg.protocol(g, setup, cfg.Seed.Split(fmt.Sprintf("claims-theta-%v", tf)))
-					err := sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
+					name := fmt.Sprintf("claims-theta-%v", tf)
+					protocol := cfg.protocol(g, setup, cfg.Seed.Split(name))
+					err := cfg.run(ctx, name, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 						acc.Add(float64(rec.Result.CautiousFriends))
 					})
 					if err != nil {

@@ -7,8 +7,13 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"github.com/accu-sim/accu/internal/core"
 	"github.com/accu-sim/accu/internal/gen"
@@ -52,6 +57,20 @@ type Config struct {
 	// several protocols (one per dataset or grid cell); Done/Total reset
 	// for each.
 	OnProgress func(sim.Progress)
+	// CheckpointDir, when non-empty, journals every completed Monte-Carlo
+	// cell to one JSONL file per protocol under this directory, so an
+	// interrupted experiment can resume without recomputing finished
+	// cells.
+	CheckpointDir string
+	// Resume reopens existing journals in CheckpointDir, replays their
+	// cells and computes only what is missing. Without Resume a leftover
+	// journal is an error (refusing to silently mix two runs).
+	Resume bool
+	// KeepGoing makes each Monte-Carlo run continue past failed cells:
+	// the surviving cells are collected normally and the trailing
+	// *sim.FailureSummary is reported as a warning instead of aborting
+	// the experiment.
+	KeepGoing bool
 }
 
 // QuickConfig returns a configuration sized for interactive use
@@ -131,6 +150,59 @@ func (c Config) protocol(g gen.Generator, s osn.Setup, seed rng.Seed) sim.Protoc
 		Metrics:    c.Metrics,
 		OnProgress: c.OnProgress,
 	}
+}
+
+// run executes one Monte-Carlo protocol with the config's fault-tolerance
+// settings applied. name identifies the protocol within the experiment
+// (it keys the checkpoint journal, so it must be stable across resumes
+// and unique within CheckpointDir). When CheckpointDir is set, completed
+// cells from a resumed journal are replayed into collect before the
+// engine starts and freshly completed cells are committed as they
+// finish. When KeepGoing is set, a run that degrades gracefully (all
+// failures within the engine's budget) is reported as a warning on
+// stderr instead of an error.
+func (c Config) run(ctx context.Context, name string, protocol sim.Protocol, factories []sim.PolicyFactory, collect func(sim.Record)) error {
+	var journal *sim.CellJournal
+	if c.CheckpointDir != "" {
+		path := filepath.Join(c.CheckpointDir, sanitizeName(name)+".jsonl")
+		j, err := sim.OpenCellJournal(path, c.Resume)
+		if err != nil {
+			return fmt.Errorf("exp: %s: %w", name, err)
+		}
+		journal = j
+		journal.Replay(collect)
+		protocol.Checkpoint = journal
+	}
+	if c.KeepGoing {
+		protocol.ContinueOnError = true
+	}
+	err := sim.Run(ctx, protocol, factories, collect)
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("exp: %s: close journal: %w", name, cerr)
+		}
+	}
+	var fs *sim.FailureSummary
+	if c.KeepGoing && errors.As(err, &fs) {
+		fmt.Fprintf(os.Stderr, "exp: warning: %s: %v\n", name, fs)
+		return nil
+	}
+	return err
+}
+
+// sanitizeName maps a protocol name to a filesystem-safe journal stem:
+// anything outside [A-Za-z0-9._-] becomes '-'.
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '.' || r == '_' || r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
 }
 
 // abmOptions returns the policy options every experiment applies to its

@@ -43,7 +43,7 @@ func ExtBatch(ctx context.Context, cfg Config) (*Report, error) {
 		var benefit, cautious stats.Welford
 		protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("extbatch")) // same seed: paired across batch sizes
 		protocol.BatchSize = b
-		err := sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
+		err := cfg.run(ctx, fmt.Sprintf("extbatch-%d", b), protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 			benefit.Add(rec.Result.Benefit)
 			cautious.Add(float64(rec.Result.CautiousFriends))
 		})

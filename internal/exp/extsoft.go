@@ -48,8 +48,9 @@ func ExtSoft(ctx context.Context, cfg Config) (*Report, error) {
 		setup.QHighCautious = cell.qHigh
 
 		var benefit, cautious stats.Welford
-		protocol := cfg.protocol(g, setup, cfg.Seed.Split(fmt.Sprintf("extsoft-%v-%v", cell.qLow, cell.qHigh)))
-		err := sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
+		name := fmt.Sprintf("extsoft-%v-%v", cell.qLow, cell.qHigh)
+		protocol := cfg.protocol(g, setup, cfg.Seed.Split(name))
+		err := cfg.run(ctx, name, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 			benefit.Add(rec.Result.Benefit)
 			cautious.Add(float64(rec.Result.CautiousFriends))
 		})

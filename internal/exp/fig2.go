@@ -63,7 +63,7 @@ func Fig2(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("fig2-"+name))
 		sum := sim.NewSummary(cps)
-		if err := sim.Run(ctx, protocol, factories, sum.Collect); err != nil {
+		if err := cfg.run(ctx, "fig2-"+name, protocol, factories, sum.Collect); err != nil {
 			return nil, fmt.Errorf("exp: fig2 %s: %w", name, err)
 		}
 

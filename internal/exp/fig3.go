@@ -39,7 +39,7 @@ func Fig3(ctx context.Context, cfg Config) (*Report, error) {
 		cautious := stats.NewSeries("from-cautious", xs)
 		reckless := stats.NewSeries("from-reckless", xs)
 		protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("fig3-"+name))
-		err = sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
+		err = cfg.run(ctx, "fig3-"+name, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 			lo := 0
 			for i, hi := range cps {
 				var sumT, sumC, sumR float64

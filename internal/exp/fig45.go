@@ -56,7 +56,7 @@ func Fig4(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("fig4-"+dataset))
-	err = sim.Run(ctx, protocol, factories, func(rec sim.Record) {
+	err = cfg.run(ctx, "fig4-"+dataset, protocol, factories, func(rec sim.Record) {
 		i := index[rec.Policy]
 		benefit.Add(i, rec.Result.Benefit)
 		cautious.Add(i, float64(rec.Result.CautiousFriends))
@@ -125,7 +125,7 @@ func Fig5(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	protocol := cfg.protocol(g, cfg.setup(), cfg.Seed.Split("fig5-"+dataset))
-	err = sim.Run(ctx, protocol, factories, func(rec sim.Record) {
+	err = cfg.run(ctx, "fig5-"+dataset, protocol, factories, func(rec sim.Record) {
 		s := series[rec.Policy]
 		lo := 0
 		for i, hi := range cps {

@@ -40,8 +40,9 @@ func heatmap(ctx context.Context, cfg Config, metric func(rec sim.Record) float6
 			setup := cfg.setup()
 			setup.ThetaFraction = tf
 			setup.BFriendCautious = bf
-			protocol := cfg.protocol(g, setup, cfg.Seed.Split(fmt.Sprintf("heat-%s-%v-%v", dataset, tf, bf)))
-			err := sim.Run(ctx, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
+			name := fmt.Sprintf("heat-%s-%v-%v", dataset, tf, bf)
+			protocol := cfg.protocol(g, setup, cfg.Seed.Split(name))
+			err := cfg.run(ctx, name, protocol, []sim.PolicyFactory{abm}, func(rec sim.Record) {
 				grid.Add(i, j, metric(rec))
 			})
 			if err != nil {

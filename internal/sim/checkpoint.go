@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// CellKey identifies one (network, run) cell of the Monte-Carlo grid.
+type CellKey struct {
+	Network int `json:"network"`
+	Run     int `json:"run"`
+}
+
+// Checkpointer persists completed cells so an interrupted grid can
+// resume without recomputation. The engine consults Done once per cell
+// before scheduling and calls Commit after a cell's records have been
+// delivered; Commit is invoked concurrently from worker goroutines, so
+// implementations must serialize internally. A Commit error aborts the
+// run even under ContinueOnError — records that cannot be made durable
+// would silently re-run on resume.
+type Checkpointer interface {
+	// Done reports whether the cell is already durably recorded.
+	Done(key CellKey) bool
+	// Commit durably records one completed cell with its records.
+	Commit(key CellKey, recs []Record) error
+}
+
+// cellLine is one journal line: a completed cell with its records.
+type cellLine struct {
+	CellKey
+	Records []Record `json:"records"`
+}
+
+// CellJournal is the append-only JSONL Checkpointer: one line per
+// completed cell, written in full before the cell is considered durable.
+// A torn trailing line (crash mid-append) is truncated away on resume,
+// so the journal is always re-appendable. Because every cell reseeds
+// from its (network, run) coordinates alone, the union of a journal's
+// replayed records and a resumed Run's records is bit-identical to an
+// uninterrupted run at any worker count.
+type CellJournal struct {
+	mu    sync.Mutex
+	f     *os.File
+	done  map[CellKey]bool
+	lines []cellLine // cells loaded at resume, in journal order (for Replay)
+}
+
+var _ Checkpointer = (*CellJournal)(nil)
+
+// OpenCellJournal opens the journal at path. With resume=false the file
+// must not already exist (guarding against accidentally mixing two
+// experiments into one journal); with resume=true an existing journal is
+// loaded — its completed cells answer Done and feed Replay — and a
+// missing one is simply created.
+func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		if !resume && errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("sim: checkpoint %s already exists; resume it or remove it: %w", path, err)
+		}
+		return nil, fmt.Errorf("sim: open checkpoint: %w", err)
+	}
+	j := &CellJournal{f: f, done: make(map[CellKey]bool)}
+	if resume {
+		if err := j.load(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sim: load checkpoint %s: %w", path, err)
+		}
+	}
+	return j, nil
+}
+
+// load parses the journal's existing lines and positions the file for
+// appending. Parsing stops at the first torn or corrupt line, which is
+// truncated away together with everything after it — those cells simply
+// re-run.
+func (j *CellJournal) load() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn trailing line
+		}
+		line := data[off : off+nl]
+		if len(bytes.TrimSpace(line)) > 0 {
+			var cl cellLine
+			if err := json.Unmarshal(line, &cl); err != nil {
+				break // corrupt line: drop it and everything after
+			}
+			if !j.done[cl.CellKey] {
+				j.done[cl.CellKey] = true
+				j.lines = append(j.lines, cl)
+			}
+		}
+		off += nl + 1
+	}
+	if off < len(data) {
+		if err := j.f.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("truncate torn tail: %w", err)
+		}
+	}
+	_, err = j.f.Seek(int64(off), io.SeekStart)
+	return err
+}
+
+// Done implements Checkpointer.
+func (j *CellJournal) Done(key CellKey) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done[key]
+}
+
+// Commit implements Checkpointer: the cell is appended as one JSONL line
+// in a single write. Committed records are not retained in memory — only
+// resumed cells are, for Replay.
+func (j *CellJournal) Commit(key CellKey, recs []Record) error {
+	line, err := json.Marshal(cellLine{CellKey: key, Records: recs})
+	if err != nil {
+		return fmt.Errorf("marshal cell: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done[key] {
+		return nil
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("append cell: %w", err)
+	}
+	j.done[key] = true
+	return nil
+}
+
+// Cells returns the number of completed cells the journal holds (loaded
+// plus committed this session).
+func (j *CellJournal) Cells() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Replay feeds every record loaded at resume to collect, in journal
+// (append) order. Call it before Run when resuming so aggregation sees
+// the already-completed cells; Run itself never re-delivers checkpointed
+// records. Cells committed after opening are not replayed — the caller's
+// collect already saw them live.
+func (j *CellJournal) Replay(collect func(Record)) {
+	j.mu.Lock()
+	lines := j.lines
+	j.mu.Unlock()
+	for _, cl := range lines {
+		for _, rec := range cl.Records {
+			collect(rec)
+		}
+	}
+}
+
+// Sync flushes the journal to stable storage (fsync).
+func (j *CellJournal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (j *CellJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

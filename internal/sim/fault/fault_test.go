@@ -1,0 +1,225 @@
+package fault_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/gen"
+	"github.com/accu-sim/accu/internal/obs"
+	"github.com/accu-sim/accu/internal/osn"
+	"github.com/accu-sim/accu/internal/rng"
+	"github.com/accu-sim/accu/internal/sim"
+	"github.com/accu-sim/accu/internal/sim/fault"
+)
+
+// testProtocol is a small grid sized so every fault-rate expectation has
+// room to fire without slowing the suite.
+func testProtocol() sim.Protocol {
+	s := osn.DefaultSetup()
+	s.NumCautious = 5
+	return sim.Protocol{
+		Gen:      gen.ErdosRenyi{N: 200, M: 2000},
+		Setup:    s,
+		Networks: 4,
+		Runs:     4,
+		K:        10,
+		Seed:     rng.NewSeed(7, 11),
+		Workers:  4,
+	}
+}
+
+func abmFactory(t *testing.T) sim.PolicyFactory {
+	t.Helper()
+	f, err := sim.ABMFactory(core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestChaosGridCompletes wires every wrapper at once — faulted
+// generator, faulted builder, faulted policy factory — and checks the
+// engine degrades instead of dying: the run finishes, the surviving
+// cells are delivered, and the injected failures reconcile with the
+// engine's failure ledger.
+func TestChaosGridCompletes(t *testing.T) {
+	p := testProtocol()
+	p.ContinueOnError = true
+	reg := obs.New()
+	p.Metrics = reg
+	rates := fault.Rates{Fail: 0.3, Metrics: reg}
+	p.Gen = fault.Generator{Inner: p.Gen, Rates: rates}
+	p.Setup = fault.Builder{Inner: p.Setup, Rates: rates}
+	factory := fault.Factory(abmFactory(t), rates)
+
+	collected := 0
+	err := sim.Run(context.Background(), p, []sim.PolicyFactory{factory}, func(sim.Record) { collected++ })
+	var sum *sim.FailureSummary
+	if err != nil && !errors.As(err, &sum) {
+		t.Fatalf("err = %v, want nil or *FailureSummary", err)
+	}
+	failed := 0
+	if sum != nil {
+		failed = len(sum.Failures)
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Errorf("summary does not unwrap to ErrInjected: %v", err)
+		}
+	}
+	if collected+failed != p.Networks*p.Runs {
+		t.Errorf("collected %d + failed %d != grid %d", collected, failed, p.Networks*p.Runs)
+	}
+	if v := reg.Counter("sim.cell_failures").Value(); v != int64(failed) {
+		t.Errorf("sim.cell_failures = %d, want %d", v, failed)
+	}
+	if reg.Counter("fault.failures").Value() == 0 {
+		t.Error("no faults injected at Fail=0.3 on a 16-cell grid; seed choice starved the test")
+	}
+}
+
+// TestPolicyFaultsReconcileWithEngine uses only the policy wrapper with
+// Retries=0, so every injected policy fault is exactly one failed cell:
+// fault.failures must equal sim.cell_failures.
+func TestPolicyFaultsReconcileWithEngine(t *testing.T) {
+	p := testProtocol()
+	p.ContinueOnError = true
+	reg := obs.New()
+	p.Metrics = reg
+	factory := fault.Factory(abmFactory(t), fault.Rates{Fail: 0.25, Metrics: reg})
+
+	err := sim.Run(context.Background(), p, []sim.PolicyFactory{factory}, func(sim.Record) {})
+	var sum *sim.FailureSummary
+	if err != nil && !errors.As(err, &sum) {
+		t.Fatalf("err = %v, want nil or *FailureSummary", err)
+	}
+	injected := reg.Counter("fault.failures").Value()
+	if injected == 0 {
+		t.Fatal("no faults injected at Fail=0.25 on a 16-cell grid; seed choice starved the test")
+	}
+	if v := reg.Counter("sim.cell_failures").Value(); v != injected {
+		t.Errorf("sim.cell_failures = %d, want the %d injected faults", v, injected)
+	}
+}
+
+// TestFaultDeterminism runs the same chaos grid twice and requires the
+// identical failure set — fault injection must be as reproducible as the
+// engine it exercises.
+func TestFaultDeterminism(t *testing.T) {
+	failures := func() map[sim.CellKey]bool {
+		p := testProtocol()
+		p.ContinueOnError = true
+		factory := fault.Factory(abmFactory(t), fault.Rates{Fail: 0.25})
+		err := sim.Run(context.Background(), p, []sim.PolicyFactory{factory}, func(sim.Record) {})
+		var sum *sim.FailureSummary
+		if !errors.As(err, &sum) {
+			t.Fatalf("err = %v, want *FailureSummary", err)
+		}
+		got := map[sim.CellKey]bool{}
+		for _, ce := range sum.Failures {
+			got[sim.CellKey{Network: ce.Network, Run: ce.Run}] = true
+		}
+		return got
+	}
+	a, b := failures(), failures()
+	if len(a) != len(b) {
+		t.Fatalf("failure sets differ in size: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Errorf("cell %+v failed in one run but not the other", k)
+		}
+	}
+}
+
+// TestNonFaultedCellsUntouched pins the pass-through contract: wrapping
+// with zero rates changes nothing — the wrapped components consume their
+// original seed streams, so records are bit-identical to an unwrapped
+// run.
+func TestNonFaultedCellsUntouched(t *testing.T) {
+	collect := func(wrap bool) map[sim.CellKey]float64 {
+		p := testProtocol()
+		factory := abmFactory(t)
+		if wrap {
+			p.Gen = fault.Generator{Inner: p.Gen, Rates: fault.Rates{}}
+			p.Setup = fault.Builder{Inner: p.Setup, Rates: fault.Rates{}}
+			factory = fault.Factory(factory, fault.Rates{})
+		}
+		got := map[sim.CellKey]float64{}
+		if err := sim.Run(context.Background(), p, []sim.PolicyFactory{factory}, func(r sim.Record) {
+			got[sim.CellKey{Network: r.Network, Run: r.Run}] = r.Result.Benefit
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	plain, wrapped := collect(false), collect(true)
+	if len(plain) != len(wrapped) {
+		t.Fatalf("cell counts differ: %d vs %d", len(plain), len(wrapped))
+	}
+	for k, v := range plain {
+		if wrapped[k] != v {
+			t.Errorf("cell %+v: benefit %v plain vs %v wrapped", k, v, wrapped[k])
+		}
+	}
+}
+
+// TestRetriesRecoverInjectedFaults checks the end-to-end transient-fault
+// story: the engine re-derives the cell seed per attempt, so a faulted
+// attempt can succeed on retry, and enough retries drive the failure
+// count well below the no-retry baseline.
+func TestRetriesRecoverInjectedFaults(t *testing.T) {
+	failedWith := func(retries int) int {
+		p := testProtocol()
+		p.ContinueOnError = true
+		p.Retries = retries
+		factory := fault.Factory(abmFactory(t), fault.Rates{Fail: 0.25})
+		err := sim.Run(context.Background(), p, []sim.PolicyFactory{factory}, func(sim.Record) {})
+		var sum *sim.FailureSummary
+		if err == nil {
+			return 0
+		}
+		if !errors.As(err, &sum) {
+			t.Fatalf("retries=%d: err = %v, want *FailureSummary", retries, err)
+		}
+		return len(sum.Failures)
+	}
+	base := failedWith(0)
+	if base == 0 {
+		t.Fatal("no faults injected at Fail=0.25; seed choice starved the test")
+	}
+	if retried := failedWith(3); retried >= base {
+		t.Errorf("retries did not reduce failures: %d without vs %d with", base, retried)
+	}
+}
+
+// TestStallExercisesCellTimeout stalls one quarter of policy builds past
+// the cell timeout and requires the engine to time the cells out rather
+// than hang.
+func TestStallExercisesCellTimeout(t *testing.T) {
+	p := testProtocol()
+	p.ContinueOnError = true
+	p.CellTimeout = 20 * time.Millisecond
+	reg := obs.New()
+	p.Metrics = reg
+	factory := fault.Factory(abmFactory(t), fault.Rates{
+		Stall:    0.25,
+		StallFor: 250 * time.Millisecond,
+		Metrics:  reg,
+	})
+	err := sim.Run(context.Background(), p, []sim.PolicyFactory{factory}, func(sim.Record) {})
+	var sum *sim.FailureSummary
+	if !errors.As(err, &sum) {
+		t.Fatalf("err = %v, want *FailureSummary", err)
+	}
+	if !errors.Is(err, sim.ErrCellTimeout) {
+		t.Errorf("summary does not unwrap to ErrCellTimeout: %v", err)
+	}
+	if reg.Counter("fault.stalls").Value() == 0 {
+		t.Fatal("no stalls injected at Stall=0.25; seed choice starved the test")
+	}
+	if reg.Counter("sim.cell_timeouts").Value() == 0 {
+		t.Error("stalled cells did not trip sim.cell_timeouts")
+	}
+}

@@ -10,6 +10,14 @@
 // behind a once-per-network gate and shared by every worker; all
 // randomness still derives from per-cell seed splits, so the record
 // stream is bit-identical at any worker count.
+//
+// The engine is fault-tolerant: a Checkpointer (see CellJournal) makes
+// completed cells durable and lets an interrupted grid resume without
+// recomputation, ContinueOnError degrades gracefully around failed cells
+// instead of discarding the whole grid, and CellTimeout/Retries bound
+// and re-attempt transient failures. Because every cell reseeds from its
+// (network, run) coordinates alone, none of these mechanisms perturb the
+// record stream of the surviving cells.
 package sim
 
 import (
@@ -23,17 +31,28 @@ import (
 
 	"github.com/accu-sim/accu/internal/core"
 	"github.com/accu-sim/accu/internal/gen"
+	"github.com/accu-sim/accu/internal/graph"
 	"github.com/accu-sim/accu/internal/obs"
 	"github.com/accu-sim/accu/internal/osn"
 	"github.com/accu-sim/accu/internal/rng"
 )
 
+// Builder dresses a generated graph into an ACCU instance. osn.Setup is
+// the canonical implementation; fault-injection wrappers
+// (internal/sim/fault) and custom experiment dressings satisfy it too.
+type Builder interface {
+	// Build constructs the instance for one sample network. It must be
+	// deterministic in (g, seed).
+	Build(g *graph.Graph, seed rng.Seed) (*osn.Instance, error)
+}
+
 // Protocol describes one Monte-Carlo experiment.
 type Protocol struct {
 	// Gen produces sample networks (one per Networks index).
 	Gen gen.Generator
-	// Setup dresses each network into an ACCU instance.
-	Setup osn.Setup
+	// Setup dresses each network into an ACCU instance. osn.Setup
+	// satisfies this directly.
+	Setup Builder
 	// Networks is the number of sample networks (paper: 100).
 	Networks int
 	// Runs is the number of algorithm executions per network (paper: 30).
@@ -60,10 +79,43 @@ type Protocol struct {
 	// counters are separate; see core.WithMetrics.
 	Metrics *obs.Registry
 	// OnProgress, when non-nil, is invoked serially (same goroutine as
-	// collect, no locking needed) after every completed cell, so long
-	// experiments can report liveness. Cells cancelled mid-flight are
-	// not reported; Done reaches Total only on a full, error-free run.
+	// collect, no locking needed) after every collected cell record, so
+	// long experiments can report liveness. Cells cancelled mid-flight,
+	// failed cells and checkpoint-skipped cells are not reported; Done
+	// reaches Total only on a full, error-free, non-resumed run.
 	OnProgress func(Progress)
+
+	// Checkpoint, when non-nil, makes the grid durable: every completed
+	// cell is committed after its records are delivered, and cells the
+	// checkpoint already holds are skipped on start (surfaced via the
+	// sim.cells_skipped counter). Skipped cells' records are NOT
+	// re-delivered to collect — replay them first via CellJournal.Replay.
+	// Because each cell reseeds from its (network, run) coordinates
+	// alone, a resumed grid's merged record set is bit-identical to an
+	// uninterrupted run's.
+	Checkpoint Checkpointer
+	// ContinueOnError degrades gracefully: a cell that fails (after
+	// Retries re-attempts) is recorded as a *CellError and counted in
+	// sim.cell_failures while the rest of the grid keeps going; Run then
+	// returns a *FailureSummary joining every cell failure. Without it
+	// the first cell failure aborts the grid, as before. Checkpoint
+	// Commit errors always abort: records that cannot be made durable
+	// would silently re-run on resume.
+	ContinueOnError bool
+	// MaxFailures bounds ContinueOnError's tolerance: once more than
+	// MaxFailures cells have failed the run aborts with the joined
+	// failures. 0 means no budget (unlimited).
+	MaxFailures int
+	// CellTimeout bounds the wall time of one cell attempt (0 = none).
+	// Policies are pure compute and cannot be interrupted, so a
+	// timed-out attempt is abandoned with its scratch state; the cell is
+	// retried or failed with ErrCellTimeout.
+	CellTimeout time.Duration
+	// Retries re-attempts a failed or timed-out cell up to Retries extra
+	// times. Every attempt a > 0 re-derives the cell's seed branch via
+	// SplitN("retry", a) — never reusing a consumed stream — so retried
+	// grids stay fully deterministic.
+	Retries int
 }
 
 // Progress is one OnProgress notification.
@@ -82,6 +134,8 @@ func (p Protocol) Validate() error {
 	switch {
 	case p.Gen == nil:
 		return errors.New("sim: nil generator")
+	case p.Setup == nil:
+		return errors.New("sim: nil setup")
 	case p.Networks <= 0:
 		return fmt.Errorf("sim: Networks = %d, must be positive", p.Networks)
 	case p.Runs <= 0:
@@ -92,6 +146,12 @@ func (p Protocol) Validate() error {
 		return fmt.Errorf("sim: BatchSize = %d, must be >= 0", p.BatchSize)
 	case p.Workers < 0:
 		return fmt.Errorf("sim: Workers = %d, must be >= 0", p.Workers)
+	case p.MaxFailures < 0:
+		return fmt.Errorf("sim: MaxFailures = %d, must be >= 0", p.MaxFailures)
+	case p.CellTimeout < 0:
+		return fmt.Errorf("sim: CellTimeout = %v, must be >= 0", p.CellTimeout)
+	case p.Retries < 0:
+		return fmt.Errorf("sim: Retries = %d, must be >= 0", p.Retries)
 	}
 	return nil
 }
@@ -155,7 +215,7 @@ type Record struct {
 type engineMetrics struct {
 	cellNS     *obs.Histogram // one policy execution (core.Run/RunBatched)
 	networkNS  *obs.Histogram // generate + setup of one network instance
-	cells      *obs.Counter   // completed cells
+	cells      *obs.Counter   // records delivered to the collector
 	workerBusy *obs.Counter   // summed worker busy nanoseconds
 	wallNS     *obs.Histogram // wall time, one observation per Run call
 	workers    *obs.Gauge     // resolved pool size
@@ -168,6 +228,14 @@ type engineMetrics struct {
 	// utilizationPct observes each Run's pool utilisation — this run's
 	// busy time over wall × workers — in percent (100 = fully busy).
 	utilizationPct *obs.Histogram
+	// Fault-tolerance counters: cells that failed after exhausting their
+	// retries (ContinueOnError), cells skipped because the checkpoint
+	// already holds them, re-attempts of failed/timed-out cells, and
+	// attempts abandoned at CellTimeout.
+	cellFailures *obs.Counter
+	cellsSkipped *obs.Counter
+	cellRetries  *obs.Counter
+	cellTimeouts *obs.Counter
 }
 
 func newEngineMetrics(reg *obs.Registry) engineMetrics {
@@ -184,6 +252,10 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		workersRequested: reg.Gauge("sim.workers_requested"),
 		workersClamped:   reg.Counter("sim.workers_clamped"),
 		utilizationPct:   reg.Histogram("sim.worker_utilization_pct"),
+		cellFailures:     reg.Counter("sim.cell_failures"),
+		cellsSkipped:     reg.Counter("sim.cells_skipped"),
+		cellRetries:      reg.Counter("sim.cell_retries"),
+		cellTimeouts:     reg.Counter("sim.cell_timeouts"),
 	}
 }
 
@@ -209,14 +281,40 @@ func (p Protocol) ResolveWorkers() (workers int, clamped bool) {
 // but in nondeterministic cell order; the per-cell randomness itself is
 // fully deterministic in Protocol.Seed — the collected record set is
 // bit-identical at any worker count. Run stops at the first error or
-// when ctx is cancelled; a worker error always wins over the context
-// cancellation it triggers.
+// when ctx is cancelled (a worker error always wins over the context
+// cancellation it triggers) unless ContinueOnError is set, in which case
+// failed cells are skipped and summarized in a trailing *FailureSummary.
 func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect func(Record)) error {
-	if err := p.Validate(); err != nil {
+	e, err := newEngine(p, factories)
+	if err != nil {
 		return err
 	}
+	return e.run(ctx, collect)
+}
+
+// engine is the per-Run scheduler state: the memoized network slots, the
+// checkpoint skip set and the failure ledger.
+type engine struct {
+	p         Protocol
+	factories []PolicyFactory
+	em        engineMetrics
+	workers   int
+	nets      []netSlot
+	skip      []bool // cells the checkpoint already holds
+
+	mu       sync.Mutex
+	failures []*CellError // failed cells under ContinueOnError
+}
+
+// newEngine validates the protocol and prepares the grid: the checkpoint
+// is consulted once, and each network slot learns how many of its cells
+// are actually scheduled so release accounting stays exact under resume.
+func newEngine(p Protocol, factories []PolicyFactory) (*engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	if len(factories) == 0 {
-		return errors.New("sim: no policy factories")
+		return nil, errors.New("sim: no policy factories")
 	}
 	workers, clamped := p.ResolveWorkers()
 	em := newEngineMetrics(p.Metrics)
@@ -227,17 +325,40 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 	if clamped {
 		em.workersClamped.Inc()
 	}
+	e := &engine{
+		p:         p,
+		factories: factories,
+		em:        em,
+		workers:   workers,
+		nets:      make([]netSlot, p.Networks),
+		skip:      make([]bool, p.Networks*p.Runs),
+	}
+	for c := range e.skip {
+		i, j := c/p.Runs, c%p.Runs
+		if p.Checkpoint != nil && p.Checkpoint.Done(CellKey{Network: i, Run: j}) {
+			e.skip[c] = true
+			em.cellsSkipped.Inc()
+			continue
+		}
+		e.nets[i].remaining.Add(1)
+	}
+	return e, nil
+}
+
+// run drives the worker pool over the scheduled cells and collects.
+func (e *engine) run(ctx context.Context, collect func(Record)) error {
 	// One registry may span several Run calls (an experiment per dataset),
 	// so utilisation is computed from this run's busy-time delta.
-	busyBefore := em.workerBusy.Value()
+	busyBefore := e.em.workerBusy.Value()
 	start := time.Now()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// firstErr captures the first worker failure. It is published before
-	// cancel() and read after the worker pool drains, so every exit path
-	// below prefers it over the secondary ctx.Err() the failure causes.
+	// firstErr captures the first fatal worker failure. It is published
+	// before cancel() and read after the worker pool drains, so every
+	// exit path below prefers it over the secondary ctx.Err() the
+	// failure causes.
 	var (
 		errOnce  sync.Once
 		firstErr error
@@ -247,37 +368,46 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 		cancel()
 	}
 
-	// The scheduler's unit of work is one (network, run) cell; instances
-	// are built lazily, once per network, by whichever worker reaches the
-	// network first (the once-gate blocks same-network latecomers).
-	nets := make([]netSlot, p.Networks)
 	cellIdx := make(chan int)
 	records := make(chan Record)
 
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(e.workers)
+	for w := 0; w < e.workers; w++ {
 		go func() {
 			defer wg.Done()
-			wk := newWorker(len(factories))
+			wk := &worker{scratch: newScratch(len(e.factories))}
 			for c := range cellIdx {
 				busyStart := time.Now()
-				err := wk.runCell(ctx, p, factories, nets, c, records, em)
-				em.workerBusy.Add(int64(time.Since(busyStart)))
-				if err != nil {
-					fail(err)
+				err := e.runCell(ctx, wk, c, records)
+				e.em.workerBusy.Add(int64(time.Since(busyStart)))
+				if err == nil {
+					continue
+				}
+				var ce *CellError
+				if e.p.ContinueOnError && errors.As(err, &ce) {
+					if e.recordFailure(ce) {
+						continue
+					}
+					fail(e.budgetExhausted())
 					return
 				}
+				fail(err)
+				return
 			}
 		}()
 	}
 
-	// Feed cell indices in network-major order (all runs of network 0,
-	// then network 1, ...) so a draining pool touches as few instances as
-	// possible at once; close records when all workers are done.
+	// Feed scheduled cell indices in network-major order (all runs of
+	// network 0, then network 1, ...) so a draining pool touches as few
+	// instances as possible at once; close records when all workers are
+	// done.
 	go func() {
 		defer close(cellIdx)
-		for c := 0; c < p.Networks*p.Runs; c++ {
+		for c := 0; c < e.p.Networks*e.p.Runs; c++ {
+			if e.skip[c] {
+				continue
+			}
 			select {
 			case cellIdx <- c:
 			case <-ctx.Done():
@@ -290,41 +420,92 @@ func Run(ctx context.Context, p Protocol, factories []PolicyFactory, collect fun
 		close(records)
 	}()
 
-	done, total := 0, p.Networks*p.Runs*len(factories)
+	done, total := 0, e.p.Networks*e.p.Runs*len(e.factories)
 	for rec := range records {
 		collect(rec)
 		done++
-		if p.OnProgress != nil {
-			p.OnProgress(Progress{Done: done, Total: total, Policy: rec.Policy, Network: rec.Network, Run: rec.Run})
+		if e.p.OnProgress != nil {
+			e.p.OnProgress(Progress{Done: done, Total: total, Policy: rec.Policy, Network: rec.Network, Run: rec.Run})
 		}
 	}
 
+	// The pool has drained (records closed), so no cell will release its
+	// network slot anymore. A cancelled grid leaves the slots of its
+	// never-scheduled cells pinned; unpin them all so an abandoned run
+	// cannot hold instances live through the engine. Abandoned timed-out
+	// attempts observe the nil slot and fail fast (errInstanceReleased).
+	for i := range e.nets {
+		e.nets[i].inst.Store(nil)
+	}
+
 	wall := time.Since(start)
-	em.wallNS.Observe(int64(wall))
-	if wall > 0 && workers > 0 {
-		busy := em.workerBusy.Value() - busyBefore
-		em.utilizationPct.Observe(int64(100 * float64(busy) / (float64(wall) * float64(workers))))
+	e.em.wallNS.Observe(int64(wall))
+	if wall > 0 && e.workers > 0 {
+		busy := e.em.workerBusy.Value() - busyBefore
+		e.em.utilizationPct.Observe(int64(100 * float64(busy) / (float64(wall) * float64(e.workers))))
 	}
 	// The records channel closed, so the pool has drained and firstErr —
 	// written before any cancel() — is stable: prefer it on every path.
 	if firstErr != nil {
 		return firstErr
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.failureSummary()
+}
+
+// recordFailure registers one failed cell under ContinueOnError and
+// reports whether the grid may keep going (failure budget not yet
+// exhausted).
+func (e *engine) recordFailure(ce *CellError) bool {
+	e.em.cellFailures.Inc()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.failures = append(e.failures, ce)
+	return e.p.MaxFailures <= 0 || len(e.failures) <= e.p.MaxFailures
+}
+
+// budgetExhausted builds the fatal error for a blown failure budget.
+func (e *engine) budgetExhausted() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fmt.Errorf("sim: failure budget exhausted (%d cells failed, MaxFailures = %d): %w",
+		len(e.failures), e.p.MaxFailures, errors.Join(joinCellErrors(e.failures)...))
+}
+
+// failureSummary returns the trailing *FailureSummary of a completed
+// ContinueOnError run, or nil if every cell succeeded.
+func (e *engine) failureSummary() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.failures) == 0 {
+		return nil
+	}
+	return &FailureSummary{
+		Cells:    e.p.Networks * e.p.Runs,
+		Failures: append([]*CellError(nil), e.failures...),
+	}
 }
 
 // netSlot memoizes one network's immutable instance behind a build-once
-// gate, and drops it once every run of the network has completed so long
-// grids do not pin all Networks instances in memory at once.
+// gate, and drops it once every scheduled cell of the network has
+// released so long grids do not pin all Networks instances in memory at
+// once. The instance pointer is atomic because a timed-out, abandoned
+// attempt may still read the slot while the final release unpins it.
 type netSlot struct {
 	once sync.Once
-	inst *osn.Instance
+	inst atomic.Pointer[osn.Instance]
 	err  error
-	done atomic.Int32
+	// remaining counts the scheduled cells of this network still owed a
+	// release; at zero the memoized instance is unpinned.
+	remaining atomic.Int32
 }
 
 // get returns the network's instance, building it on first use. Callers
-// racing the builder block on the once-gate instead of regenerating.
+// racing the builder block on the once-gate instead of regenerating. A
+// nil, nil return means the slot was already released (only reachable by
+// an abandoned attempt racing the last release).
 func (s *netSlot) get(p Protocol, i int, netSeed rng.Seed, em engineMetrics) (*osn.Instance, error) {
 	s.once.Do(func() {
 		defer obs.StartSpan(em.networkNS).End()
@@ -339,36 +520,47 @@ func (s *netSlot) get(p Protocol, i int, netSeed rng.Seed, em engineMetrics) (*o
 			return
 		}
 		inst.Instrument(p.Metrics)
-		s.inst = inst
+		s.inst.Store(inst)
 	})
-	return s.inst, s.err
+	return s.inst.Load(), s.err
 }
 
-// release marks one of the network's runs complete; after the last, the
-// memoized instance is unpinned (in-flight references keep it alive).
-func (s *netSlot) release(runs int) {
-	if int(s.done.Add(1)) == runs {
-		s.inst = nil
+// release marks one scheduled cell of the network finished — success,
+// failure and cancellation alike; after the last one the memoized
+// instance is unpinned (in-flight references keep it alive). Callers
+// invoke it exactly once per cell, via defer, so no early-return path
+// can leak the instance for the rest of the grid.
+func (s *netSlot) release() {
+	if s.remaining.Add(-1) == 0 {
+		s.inst.Store(nil)
 	}
 }
 
-// worker holds one pool goroutine's reusable scratch: the pooled attack
-// state (core.Runner) and, for policies implementing core.Reusable, the
-// policy instances themselves — their Init re-slices internal buffers, so
-// reuse turns three-plus O(N) allocations per cell into reseeds.
+// worker holds one pool goroutine's reusable scratch. The indirection
+// exists for CellTimeout: an abandoned (timed-out) attempt keeps the old
+// scratch exclusively while the worker re-arms with a fresh one, so a
+// leaked attempt never shares mutable state with subsequent cells.
 type worker struct {
+	scratch *scratch
+}
+
+// scratch is the pooled attack state (core.Runner) and, for policies
+// implementing core.Reusable, the policy instances themselves — their
+// Init re-slices internal buffers, so reuse turns three-plus O(N)
+// allocations per cell into reseeds.
+type scratch struct {
 	runner core.Runner
 	pols   []core.Reusable
 }
 
-func newWorker(nfactories int) *worker {
-	return &worker{pols: make([]core.Reusable, nfactories)}
+func newScratch(nfactories int) *scratch {
+	return &scratch{pols: make([]core.Reusable, nfactories)}
 }
 
 // policy returns factory fi's policy for a cell seeded by seed, reusing a
 // cached Reusable instance when one exists.
-func (w *worker) policy(f PolicyFactory, fi int, seed rng.Seed) (core.Policy, error) {
-	if cached := w.pols[fi]; cached != nil {
+func (sc *scratch) policy(f PolicyFactory, fi int, seed rng.Seed) (core.Policy, error) {
+	if cached := sc.pols[fi]; cached != nil {
 		cached.Reseed(seed)
 		return cached, nil
 	}
@@ -378,56 +570,149 @@ func (w *worker) policy(f PolicyFactory, fi int, seed rng.Seed) (core.Policy, er
 		return nil, fmt.Errorf("sim: build policy %s: %w", f.Name, err)
 	}
 	if r, ok := pol.(core.Reusable); ok {
-		w.pols[fi] = r
+		sc.pols[fi] = r
 	}
 	return pol, nil
 }
 
-// runCell executes cell c = network·Runs + run: sample the cell's
-// realization and attack it with every policy. Seed derivation is
-// identical to the historical per-network scheduler (network split, then
-// run split, then realization/policy splits), which is what keeps the
-// record stream byte-identical across worker counts and scheduler
-// versions.
-func (w *worker) runCell(ctx context.Context, p Protocol, factories []PolicyFactory, nets []netSlot, c int, records chan<- Record, em engineMetrics) error {
-	i, j := c/p.Runs, c%p.Runs
-	netSeed := p.Seed.SplitN("network", i)
-	inst, err := nets[i].get(p, i, netSeed, em)
-	if err != nil {
-		return err
+// runCell executes cell c = network·Runs + run through the retry loop,
+// delivers its records and commits it to the checkpoint. Records are
+// delivered only for fully successful cells, so a failed cell never
+// leaks a partial policy roster into the collector. The network slot is
+// released exactly once per cell on every path — success, failure, retry
+// exhaustion and cancellation alike.
+func (e *engine) runCell(ctx context.Context, wk *worker, c int, records chan<- Record) error {
+	i, j := c/e.p.Runs, c%e.p.Runs
+	defer e.nets[i].release()
+	var (
+		attempts []error
+		lastPol  string
+	)
+	for attempt := 0; attempt <= e.p.Retries; attempt++ {
+		if ctx.Err() != nil {
+			return nil // cooperative cancellation, not a cell failure
+		}
+		recs, pol, err := e.runAttempt(ctx, wk, i, j, attempt)
+		if err == nil {
+			return e.deliver(ctx, recs, i, j, records)
+		}
+		// Only a cancellation the attempt itself observed is cooperative;
+		// a genuine cell error that races an external cancellation still
+		// counts (the worker-error-wins contract).
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			return nil
+		}
+		attempts = append(attempts, err)
+		lastPol = pol
+		if attempt < e.p.Retries {
+			e.em.cellRetries.Inc()
+		}
 	}
-	if ctx.Err() != nil {
-		return nil // cooperative cancellation, not a cell failure
-	}
-	runSeed := netSeed.SplitN("run", j)
-	re := inst.SampleRealization(runSeed.Split("realization"))
-	for fi, f := range factories {
-		pol, err := w.policy(f, fi, runSeed.SplitN("policy", fi))
-		if err != nil {
-			return err
-		}
-		cell := obs.StartSpan(em.cellNS)
-		var res *core.Result
-		if p.BatchSize > 1 {
-			bp, ok := pol.(core.BatchSelector)
-			if !ok {
-				return fmt.Errorf("sim: policy %s does not support batching", f.Name)
-			}
-			res, err = w.runner.RunBatched(bp, re, p.K, p.BatchSize)
-		} else {
-			res, err = w.runner.Run(pol, re, p.K)
-		}
-		cell.End()
-		if err != nil {
-			return fmt.Errorf("sim: run %s on network %d run %d: %w", f.Name, i, j, err)
-		}
-		em.cells.Inc()
+	return &CellError{Policy: lastPol, Network: i, Run: j, Err: errors.Join(attempts...)}
+}
+
+// deliver streams one completed cell's records to the collector and,
+// once all of them are out, commits the cell to the checkpoint. The
+// sim.cells counter increments only after a record is actually received,
+// so cancelled cells are never counted-but-uncollected.
+func (e *engine) deliver(ctx context.Context, recs []Record, i, j int, records chan<- Record) error {
+	for _, rec := range recs {
 		select {
-		case records <- Record{Policy: f.Name, Network: i, Run: j, Result: res}:
+		case records <- rec:
+			e.em.cells.Inc()
 		case <-ctx.Done():
 			return nil
 		}
 	}
-	nets[i].release(p.Runs)
+	if e.p.Checkpoint != nil {
+		if err := e.p.Checkpoint.Commit(CellKey{Network: i, Run: j}, recs); err != nil {
+			return fmt.Errorf("sim: checkpoint cell network %d run %d: %w", i, j, err)
+		}
+	}
 	return nil
+}
+
+// runAttempt executes one cell attempt, bounded by Protocol.CellTimeout
+// when set. Policies are pure compute and cannot be interrupted, so a
+// timed-out attempt is abandoned together with the worker's scratch;
+// the replacement scratch keeps later cells isolated from the leaked
+// goroutine.
+func (e *engine) runAttempt(ctx context.Context, wk *worker, i, j, attempt int) ([]Record, string, error) {
+	if e.p.CellTimeout <= 0 {
+		return e.attemptCell(wk.scratch, i, j, attempt)
+	}
+	type outcome struct {
+		recs []Record
+		pol  string
+		err  error
+	}
+	sc := wk.scratch
+	ch := make(chan outcome, 1)
+	go func() {
+		recs, pol, err := e.attemptCell(sc, i, j, attempt)
+		ch <- outcome{recs: recs, pol: pol, err: err}
+	}()
+	timer := time.NewTimer(e.p.CellTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.recs, o.pol, o.err
+	case <-timer.C:
+		wk.scratch = newScratch(len(e.factories))
+		e.em.cellTimeouts.Inc()
+		return nil, "", fmt.Errorf("sim: network %d run %d attempt %d: %w after %v",
+			i, j, attempt, ErrCellTimeout, e.p.CellTimeout)
+	case <-ctx.Done():
+		wk.scratch = newScratch(len(e.factories))
+		return nil, "", ctx.Err()
+	}
+}
+
+// attemptCell computes every policy record of cell (i, j) for one
+// attempt: sample the cell's realization and attack it with every
+// policy. Attempt 0 derives seeds exactly as the historical scheduler
+// did (network split, then run split, then realization/policy splits),
+// which is what keeps the record stream byte-identical across worker
+// counts, scheduler versions and resumes; attempt a > 0 re-derives a
+// fresh branch via SplitN("retry", a) so retries never replay a consumed
+// stream. The failing factory's name accompanies the error when the
+// failure is attributable to one policy.
+func (e *engine) attemptCell(sc *scratch, i, j, attempt int) ([]Record, string, error) {
+	netSeed := e.p.Seed.SplitN("network", i)
+	inst, err := e.nets[i].get(e.p, i, netSeed, e.em)
+	if err != nil {
+		return nil, "", err
+	}
+	if inst == nil {
+		return nil, "", errInstanceReleased
+	}
+	runSeed := netSeed.SplitN("run", j)
+	if attempt > 0 {
+		runSeed = runSeed.SplitN("retry", attempt)
+	}
+	re := inst.SampleRealization(runSeed.Split("realization"))
+	recs := make([]Record, 0, len(e.factories))
+	for fi, f := range e.factories {
+		pol, err := sc.policy(f, fi, runSeed.SplitN("policy", fi))
+		if err != nil {
+			return nil, f.Name, err
+		}
+		cell := obs.StartSpan(e.em.cellNS)
+		var res *core.Result
+		if e.p.BatchSize > 1 {
+			bp, ok := pol.(core.BatchSelector)
+			if !ok {
+				return nil, f.Name, fmt.Errorf("sim: policy %s does not support batching", f.Name)
+			}
+			res, err = sc.runner.RunBatched(bp, re, e.p.K, e.p.BatchSize)
+		} else {
+			res, err = sc.runner.Run(pol, re, e.p.K)
+		}
+		cell.End()
+		if err != nil {
+			return nil, f.Name, fmt.Errorf("sim: run %s on network %d run %d: %w", f.Name, i, j, err)
+		}
+		recs = append(recs, Record{Policy: f.Name, Network: i, Run: j, Result: res})
+	}
+	return recs, "", nil
 }

@@ -38,10 +38,14 @@ func TestProtocolValidate(t *testing.T) {
 	}
 	cases := []func(*Protocol){
 		func(p *Protocol) { p.Gen = nil },
+		func(p *Protocol) { p.Setup = nil },
 		func(p *Protocol) { p.Networks = 0 },
 		func(p *Protocol) { p.Runs = 0 },
 		func(p *Protocol) { p.K = 0 },
 		func(p *Protocol) { p.Workers = -1 },
+		func(p *Protocol) { p.MaxFailures = -1 },
+		func(p *Protocol) { p.CellTimeout = -1 },
+		func(p *Protocol) { p.Retries = -1 },
 	}
 	for i, mutate := range cases {
 		p := testProtocol()

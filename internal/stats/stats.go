@@ -5,8 +5,15 @@
 package stats
 
 import (
+	"errors"
+	"fmt"
 	"math"
 )
+
+// ErrMismatchedAxes is returned by Series.Merge and Grid.Merge when the
+// two sides do not accumulate over the same positions — merging them
+// would silently drop or misattribute observations.
+var ErrMismatchedAxes = errors.New("stats: mismatched axes")
 
 // Welford accumulates a stream of observations with numerically stable
 // online mean and variance. The zero value is ready to use.
@@ -100,11 +107,32 @@ func (s *Series) Add(i int, y float64) { s.accs[i].Add(y) }
 // At returns the accumulator at position i.
 func (s *Series) At(i int) *Welford { return &s.accs[i] }
 
-// Merge folds another series with identical x positions into this one.
-func (s *Series) Merge(o *Series) {
+// Merge folds another series into this one. The two series must
+// accumulate over identical x positions: a silent range over only the
+// receiver's accumulators would drop a longer other side's tail
+// observations (and panic on a shorter one), so any mismatch fails
+// loudly with ErrMismatchedAxes instead.
+func (s *Series) Merge(o *Series) error {
+	if err := matchAxis("x", s.xs, o.xs); err != nil {
+		return fmt.Errorf("%w: series %q vs %q: %v", ErrMismatchedAxes, s.Label, o.Label, err)
+	}
 	for i := range s.accs {
 		s.accs[i].Merge(o.accs[i])
 	}
+	return nil
+}
+
+// matchAxis verifies two axes cover the same positions.
+func matchAxis(name string, a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s axis length %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%s axis position %d: %v vs %v", name, i, a[i], b[i])
+		}
+	}
+	return nil
 }
 
 // Means returns the mean at every x position.
@@ -148,9 +176,18 @@ func (g *Grid) Add(i, j int, y float64) { g.accs[i*len(g.cols)+j].Add(y) }
 // At returns the accumulator of cell (i, j).
 func (g *Grid) At(i, j int) *Welford { return &g.accs[i*len(g.cols)+j] }
 
-// Merge folds another grid with identical axes into this one.
-func (g *Grid) Merge(o *Grid) {
+// Merge folds another grid into this one. Both grids must span identical
+// row and column axes; any mismatch fails loudly with ErrMismatchedAxes
+// rather than silently dropping or misaligning cells.
+func (g *Grid) Merge(o *Grid) error {
+	if err := matchAxis("row", g.rows, o.rows); err != nil {
+		return fmt.Errorf("%w: grid %s/%s: %v", ErrMismatchedAxes, g.RowLabel, g.ColLabel, err)
+	}
+	if err := matchAxis("col", g.cols, o.cols); err != nil {
+		return fmt.Errorf("%w: grid %s/%s: %v", ErrMismatchedAxes, g.RowLabel, g.ColLabel, err)
+	}
 	for i := range g.accs {
 		g.accs[i].Merge(o.accs[i])
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -121,12 +122,42 @@ func TestSeriesMerge(t *testing.T) {
 	a.Add(0, 2)
 	b.Add(0, 4)
 	b.Add(1, 6)
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
 	if a.At(0).Mean() != 3 || a.At(0).Count() != 2 {
 		t.Errorf("merged mean = %v count = %d", a.At(0).Mean(), a.At(0).Count())
 	}
 	if a.At(1).Mean() != 6 {
 		t.Errorf("merged mean[1] = %v", a.At(1).Mean())
+	}
+}
+
+// TestSeriesMergeMismatch pins the loud-failure contract in both
+// directions: a longer other side used to silently drop its tail
+// observations, and a shorter one used to panic with a bare index error.
+func TestSeriesMergeMismatch(t *testing.T) {
+	base := func() *Series {
+		s := NewSeries("base", []float64{1, 2})
+		s.Add(0, 1)
+		s.Add(1, 2)
+		return s
+	}
+	cases := map[string]*Series{
+		"longer other":     NewSeries("o", []float64{1, 2, 3}),
+		"shorter other":    NewSeries("o", []float64{1}),
+		"shifted x values": NewSeries("o", []float64{1, 5}),
+	}
+	for name, o := range cases {
+		s := base()
+		o.Add(0, 9)
+		if err := s.Merge(o); !errors.Is(err, ErrMismatchedAxes) {
+			t.Errorf("%s: err = %v, want ErrMismatchedAxes", name, err)
+		}
+		// The failed merge must not have folded anything in.
+		if s.At(0).Count() != 1 || s.At(0).Mean() != 1 {
+			t.Errorf("%s: receiver mutated by failed merge", name)
+		}
 	}
 }
 
@@ -151,9 +182,32 @@ func TestGridMerge(t *testing.T) {
 	b := NewGrid("r", []float64{1}, "c", []float64{1})
 	a.Add(0, 0, 10)
 	b.Add(0, 0, 20)
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
 	if a.At(0, 0).Mean() != 15 {
 		t.Errorf("merged = %v", a.At(0, 0).Mean())
+	}
+}
+
+// TestGridMergeMismatch covers both mismatch directions on both axes.
+func TestGridMergeMismatch(t *testing.T) {
+	cases := map[string]*Grid{
+		"extra row":      NewGrid("r", []float64{1, 2}, "c", []float64{1}),
+		"missing row":    NewGrid("r", nil, "c", []float64{1}),
+		"extra col":      NewGrid("r", []float64{1}, "c", []float64{1, 2}),
+		"shifted col":    NewGrid("r", []float64{1}, "c", []float64{9}),
+		"renumbered row": NewGrid("r", []float64{7}, "c", []float64{1}),
+	}
+	for name, o := range cases {
+		g := NewGrid("r", []float64{1}, "c", []float64{1})
+		g.Add(0, 0, 10)
+		if err := g.Merge(o); !errors.Is(err, ErrMismatchedAxes) {
+			t.Errorf("%s: err = %v, want ErrMismatchedAxes", name, err)
+		}
+		if g.At(0, 0).Count() != 1 {
+			t.Errorf("%s: receiver mutated by failed merge", name)
+		}
 	}
 }
 
