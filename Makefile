@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet accuvet bench clean
+.PHONY: all build test race lint vet accuvet vet-fix bench clean
 
 all: build test lint
 
@@ -29,6 +29,14 @@ accuvet:
 	$(GO) build -o bin/accuvet ./cmd/accuvet
 	$(GO) vet -vettool=$(CURDIR)/bin/accuvet ./...
 	$(GO) run ./cmd/accuvet ./...
+
+# vet-fix prints every accuvet finding — including ones already covered
+# by an //accu:allow directive, marked "(allowed)" — together with the
+# exact suppression comment to paste above a site that is intentional.
+# Exit status matches plain accuvet: 1 only while live findings remain.
+vet-fix:
+	$(GO) build -o bin/accuvet ./cmd/accuvet
+	./bin/accuvet -suggest ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

@@ -1,7 +1,10 @@
-// Command accuvet is the project's static-analysis suite: four analyzers
-// (detrand, maporder, seedflow, metricname) that turn the simulator's
-// determinism invariants into compile-time properties. See DESIGN.md
-// "Determinism invariants & static enforcement".
+// Command accuvet is the project's static-analysis suite: nine analyzers
+// that turn the simulator's determinism and concurrency invariants into
+// compile-time properties. Wave 1 (detrand, maporder, seedflow,
+// metricname) guards the deterministic record path; wave 2 (lockbalance,
+// atomicmix, ctxcancel, scratchescape, errcmp) checks the parallel
+// engine's concurrency discipline with a CFG/dataflow engine. See
+// DESIGN.md "Determinism invariants & static enforcement".
 //
 // It runs in two modes:
 //
@@ -11,7 +14,14 @@
 // Standalone mode loads packages through the go command and additionally
 // checks metric-name/kind collisions across package boundaries; vettool
 // mode follows the -V=full / -flags / unit.cfg protocol the go command
-// expects and inherits vet's build caching.
+// expects and inherits vet's build caching. Both modes type-check each
+// package as its merged test unit but analyze only production files, so
+// their verdicts and exit codes agree: 0 clean, 1 findings, 2 failure.
+//
+// -suggest prints every finding (including ones an //accu:allow
+// directive already covers, marked "allowed") together with the
+// suppression comment that would silence it — the triage surface for
+// working through a wave of new findings.
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"github.com/accu-sim/accu/internal/analysis"
@@ -37,10 +48,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("accuvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		vFlag     = fs.String("V", "", "print version and exit (-V=full, for the go command)")
-		flagsFlag = fs.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
-		listFlag  = fs.Bool("list", false, "list analyzers and exit")
-		jsonFlag  = fs.Bool("json", false, "emit findings as JSON (standalone mode)")
+		vFlag       = fs.String("V", "", "print version and exit (-V=full, for the go command)")
+		flagsFlag   = fs.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
+		listFlag    = fs.Bool("list", false, "list analyzers and exit")
+		jsonFlag    = fs.Bool("json", false, "emit findings as JSON (standalone mode)")
+		suggestFlag = fs.Bool("suggest", false, "print findings with //accu:allow suppression suggestions, including already-allowed ones (standalone mode)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: accuvet [packages]   (default ./...)\n")
@@ -70,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return vetUnitMode(rest[0], stderr)
 	}
-	return standaloneMode(rest, stdout, stderr, *jsonFlag)
+	return standaloneMode(rest, stdout, stderr, *jsonFlag, *suggestFlag)
 }
 
 // vetUnitMode analyzes one compilation unit under the go vet protocol.
@@ -80,13 +92,16 @@ func vetUnitMode(cfg string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "accuvet: %v\n", err)
 		return 2
 	}
-	return printPlain(stderr, fset, diags)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return exitCode(len(diags))
 }
 
 // standaloneMode loads the patterns from source and analyzes every
 // matched package with one shared suite, so cross-package invariants
 // (metricname's kind table) see the whole tree.
-func standaloneMode(patterns []string, stdout, stderr io.Writer, asJSON bool) int {
+func standaloneMode(patterns []string, stdout, stderr io.Writer, asJSON, suggest bool) int {
 	pkgs, err := analysis.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "accuvet: %v\n", err)
@@ -96,7 +111,11 @@ func standaloneMode(patterns []string, stdout, stderr io.Writer, asJSON bool) in
 	var all []analysis.Diagnostic
 	var fset *token.FileSet
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(pkg, suite)
+		run := analysis.RunAnalyzers
+		if suggest {
+			run = analysis.RunAnalyzersAll
+		}
+		diags, err := run(pkg, suite)
 		if err != nil {
 			fmt.Fprintf(stderr, "accuvet: %v\n", err)
 			return 2
@@ -104,37 +123,108 @@ func standaloneMode(patterns []string, stdout, stderr io.Writer, asJSON bool) in
 		all = append(all, diags...)
 		fset = pkg.Fset
 	}
-	if asJSON {
-		type finding struct {
-			Pos      string `json:"pos"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
-		}
-		out := make([]finding, 0, len(all))
+	all = dedupSort(fset, all)
+
+	switch {
+	case asJSON:
+		return printJSON(stdout, stderr, fset, all)
+	case suggest:
+		return printSuggestions(stdout, fset, all)
+	default:
 		for _, d := range all {
-			out = append(out, finding{Pos: fset.Position(d.Pos).String(), Analyzer: d.Analyzer, Message: d.Message})
+			fmt.Fprintf(stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 		}
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "\t")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(stderr, "accuvet: %v\n", err)
-			return 2
-		}
-		if len(all) > 0 {
-			return 1
-		}
-		return 0
+		return exitCode(len(all))
 	}
-	return printPlain(stderr, fset, all)
 }
 
-// printPlain writes findings in the file:line:col form vet users expect
-// and returns the exit code.
-func printPlain(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) int {
-	for _, d := range diags {
-		fmt.Fprintf(w, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+// dedupSort orders findings by position (file, line, column, analyzer)
+// and drops exact duplicates, so standalone output is stable across
+// go-list orderings and a finding surfaces once even if its package were
+// analyzed under several guises.
+func dedupSort(fset *token.FileSet, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	if fset == nil {
+		return diags
 	}
-	if len(diags) > 0 {
+	type key struct {
+		pos      string
+		analyzer string
+		message  string
+	}
+	seen := make(map[key]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		k := key{fset.Position(d.Pos).String(), d.Analyzer, d.Message}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// printJSON emits the findings as a JSON array on stdout.
+func printJSON(stdout, stderr io.Writer, fset *token.FileSet, all []analysis.Diagnostic) int {
+	type finding struct {
+		Pos        string `json:"pos"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed,omitempty"`
+	}
+	out := make([]finding, 0, len(all))
+	for _, d := range all {
+		out = append(out, finding{Pos: fset.Position(d.Pos).String(), Analyzer: d.Analyzer, Message: d.Message, Suppressed: d.Suppressed})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(stderr, "accuvet: %v\n", err)
+		return 2
+	}
+	return exitCode(len(all))
+}
+
+// printSuggestions writes each finding followed by the //accu:allow line
+// that would suppress it. Findings already covered by a directive are
+// marked "allowed" and do not affect the exit code, matching the plain
+// modes' verdict.
+func printSuggestions(w io.Writer, fset *token.FileSet, all []analysis.Diagnostic) int {
+	active := 0
+	for _, d := range all {
+		status := ""
+		if d.Suppressed {
+			status = " (allowed)"
+		} else {
+			active++
+		}
+		fmt.Fprintf(w, "%s: %s [%s]%s\n", fset.Position(d.Pos), d.Message, d.Analyzer, status)
+		if !d.Suppressed {
+			fmt.Fprintf(w, "\tto suppress, add on the line above:\n")
+			fmt.Fprintf(w, "\t//accu:allow %s -- <why this violation is intentional>\n", d.Analyzer)
+		}
+	}
+	return exitCode(active)
+}
+
+// exitCode maps a finding count to the shared process exit code: 0
+// clean, 1 findings. Both drivers funnel through it so `go vet
+// -vettool` and standalone runs agree.
+func exitCode(findings int) int {
+	if findings > 0 {
 		return 1
 	}
 	return 0

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
 )
 
 // TestRepoIsClean is the lint smoke test: the suite must run clean over
@@ -52,13 +55,16 @@ func Stamp() int64 { return time.Now().UnixNano() }
 	}
 }
 
-// TestListAnalyzers: -list names all four analyzers.
+// TestListAnalyzers: -list names all nine analyzers.
 func TestListAnalyzers(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d: %s", code, stderr.String())
 	}
-	for _, name := range []string{"detrand", "maporder", "seedflow", "metricname"} {
+	for _, name := range []string{
+		"detrand", "maporder", "seedflow", "metricname",
+		"lockbalance", "atomicmix", "ctxcancel", "scratchescape", "errcmp",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("missing analyzer %q in -list output:\n%s", name, stdout.String())
 		}
@@ -86,5 +92,91 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if got := strings.TrimSpace(stdout.String()); got != "[]" {
 		t.Errorf("clean package JSON = %q, want []", got)
+	}
+}
+
+// TestSuggestMode builds a throwaway module with one live violation and
+// one already-allowed violation: -suggest prints both (the allowed one
+// marked), suggests the //accu:allow syntax for the live one, and exits
+// 1 because a live finding remains.
+func TestSuggestMode(t *testing.T) {
+	dir := t.TempDir()
+	corePkg := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(corePkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(dir, "go.mod"): "module example.test\n\ngo 1.22\n",
+		filepath.Join(corePkg, "bad.go"): `package core
+
+import "time"
+
+// Stamp leaks wall-clock time into the record path.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Boot is the audited exception.
+func Boot() int64 {
+	//accu:allow detrand -- startup banner only, never recorded
+	return time.Now().UnixNano()
+}
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-suggest", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (one live finding)\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, fragment := range []string{
+		"//accu:allow detrand",
+		"to suppress",
+		"(allowed)",
+	} {
+		if !strings.Contains(out, fragment) {
+			t.Errorf("missing %q in -suggest output:\n%s", fragment, out)
+		}
+	}
+
+	// Exit-code consistency: the plain run sees only the live finding
+	// and must agree with -suggest's verdict.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("plain run exit = %d, want 1", code)
+	}
+}
+
+// TestDedupSort: duplicate findings collapse and output ordering is by
+// file, line, column, analyzer — independent of insertion order.
+func TestDedupSort(t *testing.T) {
+	fset := token.NewFileSet()
+	fileB := fset.AddFile("b.go", -1, 100)
+	fileA := fset.AddFile("a.go", -1, 100)
+	posB := fileB.Pos(10)
+	posA1 := fileA.Pos(50)
+	posA2 := fileA.Pos(5)
+
+	diags := []analysis.Diagnostic{
+		{Pos: posB, Analyzer: "maporder", Message: "m3"},
+		{Pos: posA1, Analyzer: "detrand", Message: "m2"},
+		{Pos: posA2, Analyzer: "seedflow", Message: "m1"},
+		{Pos: posA1, Analyzer: "detrand", Message: "m2"}, // exact duplicate
+	}
+	got := dedupSort(fset, diags)
+	if len(got) != 3 {
+		t.Fatalf("got %d findings after dedup, want 3", len(got))
+	}
+	wantOrder := []string{"m1", "m2", "m3"}
+	for i, d := range got {
+		if d.Message != wantOrder[i] {
+			t.Errorf("position %d: got %q, want %q", i, d.Message, wantOrder[i])
+		}
 	}
 }

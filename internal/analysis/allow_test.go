@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+// TestAllowMultipleNames pins the multi-name //accu:allow form: one
+// directive listing several analyzers suppresses exactly the named ones
+// on the covered line. The fixture violates lockbalance and ctxcancel on
+// a single line; a two-name directive silences both, a one-name
+// directive leaves the other analyzer's finding live.
+func TestAllowMultipleNames(t *testing.T) {
+	analysistest.RunAll(t,
+		[]*analysis.Analyzer{analysis.LockBalance(), analysis.CtxCancel()},
+		analysistest.Fixture{
+			Dir:        "testdata/src/allowmulti_sim",
+			ImportPath: "example.test/internal/sim",
+			Deps:       stubDeps,
+		})
+}

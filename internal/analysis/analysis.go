@@ -49,6 +49,11 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+
+	// Suppressed marks a finding covered by an //accu:allow directive.
+	// The checkers drop suppressed findings; RunAnalyzersAll keeps them
+	// so audits and regression tests can pin the allowed sites.
+	Suppressed bool
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -67,16 +72,15 @@ type Pass struct {
 	diagnostics *[]Diagnostic
 }
 
-// Reportf records a diagnostic at pos unless an //accu:allow directive
-// covers it.
+// Reportf records a diagnostic at pos. Findings covered by an
+// //accu:allow directive are recorded with Suppressed set; the checkers
+// filter them out, audit mode keeps them.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.allow.covers(p.Fset, pos, p.Analyzer.Name) {
-		return
-	}
 	*p.diagnostics = append(*p.diagnostics, Diagnostic{
-		Pos:      pos,
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
+		Pos:        pos,
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: p.allow.covers(p.Fset, pos, p.Analyzer.Name),
 	})
 }
 
@@ -132,9 +136,28 @@ func (idx allowIndex) covers(fset *token.FileSet, pos token.Pos, analyzer string
 }
 
 // RunAnalyzers applies every analyzer to the package and returns the
-// findings sorted by position. The package's allow directives are parsed
-// once and shared across analyzers.
+// unsuppressed findings sorted by position. The package's allow
+// directives are parsed once and shared across analyzers.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAnalyzersAll(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	diags := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags, nil
+}
+
+// RunAnalyzersAll is RunAnalyzers without the suppression filter: allowed
+// findings are returned too, with Suppressed set. This is the audit
+// surface — it answers "what would fire if the //accu:allow directives
+// were removed", which is how regression tests pin that an annotated
+// true positive is still detected.
+func RunAnalyzersAll(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	allow := buildAllowIndex(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {

@@ -49,7 +49,15 @@ type Fixture struct {
 // mismatch between diagnostics and // want expectations through t.
 func Run(t *testing.T, a *analysis.Analyzer, fx Fixture) {
 	t.Helper()
-	fset, files, diags := Diagnostics(t, a, fx)
+	RunAll(t, []*analysis.Analyzer{a}, fx)
+}
+
+// RunAll analyzes the fixture with several analyzers against one shared
+// want set — for fixtures whose expectations span analyzers, such as the
+// multi-name //accu:allow directive tests.
+func RunAll(t *testing.T, analyzers []*analysis.Analyzer, fx Fixture) {
+	t.Helper()
+	fset, files, diags := diagnostics(t, analyzers, fx)
 	wants, err := collectWants(fset, files)
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +69,11 @@ func Run(t *testing.T, a *analysis.Analyzer, fx Fixture) {
 // comparing them to want expectations — for scope tests that assert a
 // fixture produces nothing under an out-of-scope import path.
 func Diagnostics(t *testing.T, a *analysis.Analyzer, fx Fixture) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
+	t.Helper()
+	return diagnostics(t, []*analysis.Analyzer{a}, fx)
+}
+
+func diagnostics(t *testing.T, analyzers []*analysis.Analyzer, fx Fixture) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
 	t.Helper()
 
 	fset := token.NewFileSet()
@@ -77,7 +90,7 @@ func Diagnostics(t *testing.T, a *analysis.Analyzer, fx Fixture) (*token.FileSet
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	diags, err := analysis.RunAnalyzers(pkg, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix returns the mixed-atomic-access analyzer: a variable (a
+// struct field or a package-level var) whose address is passed to a
+// sync/atomic function in one place must be accessed through sync/atomic
+// everywhere. A plain load or store of the same variable — even in a
+// different function — is a data race the race detector only catches if
+// the two sites actually collide during a test run; statically, mixing
+// the two access modes is always wrong.
+//
+// The typed atomics (atomic.Int64, atomic.Pointer[T], ...) make this
+// mistake unrepresentable and are the preferred fix — the engine's
+// netSlot.inst / netSlot.remaining discipline in internal/sim is the
+// in-tree model.
+func AtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc: "flag variables accessed both through sync/atomic and by plain " +
+			"load/store; every access must be atomic (prefer the typed atomics)",
+	}
+	a.Run = func(pass *Pass) error {
+		// Pass 1: collect every variable whose address feeds a
+		// sync/atomic call, and the exact operand nodes used there.
+		atomicAt := make(map[*types.Var]token.Pos) // first atomic site per var
+		atomicOperands := make(map[ast.Expr]bool)  // &x operands inside atomic calls
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isAtomicFuncCall(pass, call) {
+					return true
+				}
+				ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					return true
+				}
+				operand := ast.Unparen(ue.X)
+				v := referredVar(pass, operand)
+				if v == nil {
+					return true
+				}
+				atomicOperands[operand] = true
+				if _, ok := atomicAt[v]; !ok || call.Pos() < atomicAt[v] {
+					atomicAt[v] = call.Pos()
+				}
+				return true
+			})
+		}
+		if len(atomicAt) == 0 {
+			return nil
+		}
+
+		// Pass 2: every other appearance of those variables is a plain
+		// access. (Taking the address for a later atomic call was
+		// recorded in pass 1; taking it for anything else is already a
+		// leak of the raw word and counts as plain.)
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				operand := ast.Unparen(e)
+				if atomicOperands[operand] {
+					return false // the sanctioned &x inside an atomic call
+				}
+				v := referredVar(pass, operand)
+				if v == nil {
+					return true
+				}
+				if at, ok := atomicAt[v]; ok {
+					pass.Reportf(operand.Pos(),
+						"%s is accessed with sync/atomic at %s but plainly here; use sync/atomic for every access (or a typed atomic.%s)",
+						v.Name(), pass.Fset.Position(at), typedAtomicFor(v.Type()))
+					return false
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isAtomicFuncCall reports whether the call invokes a top-level
+// sync/atomic function (LoadInt64, StorePointer, AddUint32, CompareAnd
+// SwapInt32, ...). Methods of the typed atomics are race-free by
+// construction and are not matched.
+func isAtomicFuncCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// referredVar resolves an expression to the struct field or
+// package-level variable it denotes, or nil for locals and everything
+// else. Locals are excluded: a goroutine cannot see another goroutine's
+// locals, so mixing access modes on one is dubious style, not a race.
+func referredVar(pass *Pass, e ast.Expr) *types.Var {
+	var v *types.Var
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[e]; ok {
+			v, _ = s.Obj().(*types.Var)
+		} else {
+			v, _ = pass.Info.Uses[e.Sel].(*types.Var)
+		}
+	case *ast.Ident:
+		// Uses only: a defining occurrence (the var or field
+		// declaration itself) is not an access.
+		v, _ = pass.Info.Uses[e].(*types.Var)
+	}
+	if v == nil {
+		return nil
+	}
+	if v.IsField() {
+		return v
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v // package-level variable
+	}
+	return nil
+}
+
+// typedAtomicFor names the typed atomic matching a raw word type, for
+// the diagnostic's suggestion.
+func typedAtomicFor(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64, types.Int:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uint:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return "Pointer[T]"
+	}
+	return "Value"
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxCancelFuncs are the context constructors that return a CancelFunc
+// the caller must invoke.
+var ctxCancelFuncs = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+// CtxCancel returns the context-cancellation analyzer: the cancel
+// function returned by context.WithCancel / WithTimeout / WithDeadline
+// (and their *Cause variants) must be invoked on every control-flow path
+// of the function that created it, and must not be discarded into the
+// blank identifier. A path that leaks the cancel func keeps the derived
+// context — its timer and its goroutine — alive until the parent
+// context ends, which in the engine's case is the whole experiment.
+//
+// Discharges are recognized conservatively: a direct call, a deferred
+// call, or any other mention of the cancel variable (passing it to a
+// callee, storing it, returning it) ends the obligation on that path.
+// What remains is the real bug: a cancel func that some path simply
+// forgets.
+func CtxCancel() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxcancel",
+		Doc: "require the cancel func of context.WithCancel/WithTimeout/WithDeadline " +
+			"to be called (or deferred) on every path, and never dropped into _",
+	}
+	a.Run = func(pass *Pass) error {
+		// Blank-assignment check is purely syntactic: `ctx, _ := ...`.
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, lhs := cancelAssign(pass, n)
+				if call == nil || len(lhs) < 2 {
+					return true
+				}
+				if id, ok := lhs[1].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"the cancel func of context.%s is discarded; the derived context leaks until its parent ends",
+						calleeName(pass, call))
+				}
+				return true
+			})
+		}
+
+		// Path check: dataflow per function body.
+		funcBodies(pass.Files, func(_ ast.Node, body *ast.BlockStmt) {
+			checkCancelPaths(pass, body)
+		})
+		return nil
+	}
+	return a
+}
+
+func checkCancelPaths(pass *Pass, body *ast.BlockStmt) {
+	cfg := NewCFG(body)
+	_, exit := cfg.ForwardMay(func(n ast.Node, facts Facts) {
+		// Kills first: any mention of a tracked cancel variable —
+		// calling it, deferring it, passing or storing it — discharges
+		// the obligation on this path. Defers are NOT pruned here: a
+		// deferred cancel registered on this path does run at exit.
+		walkBlockNode(n, false, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj, ok := pass.Info.Uses[id]; ok {
+				delete(facts, obj)
+			}
+			return true
+		})
+		// Gens second, so `ctx, cancel = context.WithCancel(ctx)`
+		// re-arms an obligation it just discharged.
+		if call, lhs := cancelAssign(pass, n); call != nil && len(lhs) >= 2 {
+			if id, ok := lhs[1].(*ast.Ident); ok && id.Name != "_" {
+				var obj types.Object
+				if obj = pass.Info.Defs[id]; obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil {
+					facts[obj] = call.Pos()
+				}
+			}
+		}
+	})
+
+	for k, pos := range exit {
+		obj := k.(types.Object)
+		pass.Reportf(pos,
+			"cancel func %s is not called on every path to function exit; defer %s() on the line after it is created",
+			obj.Name(), obj.Name())
+	}
+}
+
+// cancelAssign recognizes `a, b := context.WithX(...)` (or `=`, or a
+// var declaration) and returns the call plus the left-hand sides.
+func cancelAssign(pass *Pass, n ast.Node) (*ast.CallExpr, []ast.Expr) {
+	var rhs []ast.Expr
+	var lhs []ast.Expr
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		rhs, lhs = n.Rhs, n.Lhs
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || len(gd.Specs) != 1 {
+			return nil, nil
+		}
+		vs, ok := gd.Specs[0].(*ast.ValueSpec)
+		if !ok {
+			return nil, nil
+		}
+		rhs = vs.Values
+		for _, name := range vs.Names {
+			lhs = append(lhs, name)
+		}
+	default:
+		return nil, nil
+	}
+	if len(rhs) != 1 {
+		return nil, nil
+	}
+	call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !ctxCancelFuncs[fn.Name()] {
+		return nil, nil
+	}
+	return call, lhs
+}
+
+// calleeName returns the called function's name for diagnostics.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+			return fn.Name()
+		}
+	}
+	return "WithCancel"
+}

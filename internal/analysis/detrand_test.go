@@ -10,8 +10,10 @@ import (
 // stubDeps maps the production import paths the analyzers key on to the
 // fixture stub packages.
 var stubDeps = map[string]string{
-	"example.test/internal/rng": "testdata/src/rng_stub",
-	"example.test/internal/obs": "testdata/src/obs_stub",
+	"example.test/internal/rng":    "testdata/src/rng_stub",
+	"example.test/internal/obs":    "testdata/src/obs_stub",
+	"example.test/internal/core":   "testdata/src/core_stub",
+	"example.test/internal/report": "testdata/src/report_stub",
 }
 
 func TestDetrandStrictPackage(t *testing.T) {

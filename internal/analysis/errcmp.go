@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrCmp returns the sentinel-comparison analyzer: comparing an error
+// against a module-declared sentinel with == or != (or a switch case)
+// is wrong wherever the value may have passed through fmt.Errorf("%w")
+// wrapping or errors.Join — both produce a new value that compares
+// unequal to the sentinel it carries. The engine wraps cell errors with
+// context (cell coordinates, attempt counts) and aggregates them with
+// errors.Join in the failure summary, so any sentinel that crosses a
+// package boundary must be tested with errors.Is.
+//
+// Scope is module sentinels only: comparisons against stdlib sentinels
+// (io.EOF and friends have documented ==-compatibility contracts) and
+// against nil are left alone.
+func ErrCmp() *Analyzer {
+	a := &Analyzer{
+		Name: "errcmp",
+		Doc: "require errors.Is for comparisons against module error sentinels; " +
+			"== breaks once the value is wrapped with %w or errors.Join",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if v, other := sentinelComparison(pass, n.X, n.Y); v != nil {
+						reportErrCmp(pass, n.Pos(), v, other)
+					}
+				case *ast.SwitchStmt:
+					checkErrSwitch(pass, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkErrSwitch flags `switch err { case ErrFoo: ... }` — each case
+// clause is an implicit == against the tag.
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(exprType(pass, sw.Tag)) {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if v := moduleErrSentinel(pass, e); v != nil {
+				reportErrCmp(pass, e.Pos(), v, sw.Tag)
+			}
+		}
+	}
+}
+
+func reportErrCmp(pass *Pass, pos token.Pos, sentinel *types.Var, other ast.Expr) {
+	pass.Reportf(pos,
+		"error compared to sentinel %s with ==; use errors.Is(%s, %s) — the value may be wrapped with %%w or errors.Join",
+		sentinel.Name(), types.ExprString(ast.Unparen(other)), sentinel.Name())
+}
+
+// sentinelComparison recognizes a binary comparison where exactly one
+// side is a module error sentinel and the other is an error-typed value
+// that isn't nil or itself a sentinel. (sentinel == sentinel is a
+// tautology someone wrote on purpose; nil checks are fine.)
+func sentinelComparison(pass *Pass, x, y ast.Expr) (*types.Var, ast.Expr) {
+	sx, sy := moduleErrSentinel(pass, x), moduleErrSentinel(pass, y)
+	switch {
+	case sx != nil && sy == nil:
+		if isErrorValue(pass, y) {
+			return sx, y
+		}
+	case sy != nil && sx == nil:
+		if isErrorValue(pass, x) {
+			return sy, x
+		}
+	}
+	return nil, nil
+}
+
+// moduleErrSentinel resolves e to a package-level error variable
+// declared in this module — not the stdlib, whose sentinels carry
+// documented ==-comparability guarantees.
+func moduleErrSentinel(pass *Pass, e ast.Expr) *types.Var {
+	var v *types.Var
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ = pass.Info.Uses[e].(*types.Var)
+	case *ast.SelectorExpr:
+		v, _ = pass.Info.Uses[e.Sel].(*types.Var)
+	}
+	if v == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	if !moduleLocalPath(v.Pkg().Path()) {
+		return nil
+	}
+	return v
+}
+
+// moduleLocalPath distinguishes module packages from the standard
+// library: module paths start with a dotted host element, std paths
+// never do. Test fixtures use example.test/... paths and match too.
+func moduleLocalPath(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return strings.Contains(first, ".")
+}
+
+// isErrorValue reports whether e is an error-typed expression other than
+// the nil literal.
+func isErrorValue(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the built-in error interface
+// and is itself an interface (a concrete *MyError compared by == is an
+// identity check, not a sentinel test).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestErrCmp(t *testing.T) {
+	analysistest.Run(t, analysis.ErrCmp(), analysistest.Fixture{
+		Dir:        "testdata/src/errcmp_sim",
+		ImportPath: "example.test/internal/sim",
+		Deps:       stubDeps,
+	})
+}

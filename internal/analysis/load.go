@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -31,6 +32,7 @@ type listEntry struct {
 	Name       string
 	Dir        string
 	Export     string
+	ForTest    string // import path of the package under test, for test variants
 	GoFiles    []string
 	CgoFiles   []string
 	Standard   bool
@@ -46,22 +48,46 @@ type listEntry struct {
 // produced by `go list -export`, so loading is fully offline and shares
 // the build cache.
 //
+// Loading mirrors the go vet unit shape exactly: each package is listed
+// with -test and type-checked as one merged unit (production files plus
+// in-package test files), then only the production files are analyzed.
+// This is what keeps standalone accuvet and `go vet -vettool` verdicts
+// identical — a production declaration that only type-checks because a
+// test file completes it is seen the same way by both drivers, and each
+// package yields exactly one package under analysis (no duplicate
+// findings from test variants). Test-binary mains (".test") and external
+// _test packages are skipped, as vet units analyze them to nothing.
+//
 // dir is the working directory for pattern resolution (any directory
 // inside the module); pass "" for the current directory.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	entries, err := goList(dir, patterns)
+	entries, err := goList(dir, true, patterns)
 	if err != nil {
 		return nil, err
 	}
 
-	// Export-data index over every listed package and dependency.
+	// Export-data index over every listed package and dependency. Test
+	// variants ("pkg [pkg.test]") index under their variant key and never
+	// collide with the plain compilation import resolution uses.
 	exports := make(map[string]string, len(entries))
 	for _, e := range entries {
 		if e.Export != "" {
 			exports[e.ImportPath] = e.Export
+		}
+	}
+
+	// In-package test variants, keyed by the package under test: their
+	// GoFiles are the merged production + in-package-test unit. ForTest
+	// alone does not identify them — every dependency recompiled for the
+	// test binary carries it too ("dep [pkg.test]" with ForTest=pkg) —
+	// so require the variant of the package itself: "pkg [pkg.test]".
+	variants := make(map[string]listEntry, len(entries))
+	for _, e := range entries {
+		if e.ForTest != "" && strings.HasPrefix(e.ImportPath, e.ForTest+" [") {
+			variants[e.ForTest] = e
 		}
 	}
 
@@ -70,7 +96,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, e := range entries {
-		if e.DepOnly || e.Standard {
+		if e.DepOnly || e.Standard || e.ForTest != "" || strings.HasSuffix(e.ImportPath, ".test") {
 			continue
 		}
 		if e.Error != nil {
@@ -82,10 +108,23 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			// rather than silently skipping.
 			return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", e.ImportPath)
 		}
+		if v, ok := variants[e.ImportPath]; ok {
+			e.GoFiles = v.GoFiles
+		}
 		pkg, err := checkPackage(fset, imp, e)
 		if err != nil {
 			return nil, err
 		}
+		// Analyzers see only the production files; the test files were
+		// needed for type-checking the merged unit (same contract as
+		// VetUnit).
+		var prod []*ast.File
+		for _, f := range pkg.Files {
+			if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+				prod = append(prod, f)
+			}
+		}
+		pkg.Files = prod
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -96,7 +135,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // fixture harness uses it to type-check testdata packages against the
 // real standard library without network access.
 func ExportData(dir string, patterns ...string) (map[string]string, error) {
-	entries, err := goList(dir, patterns)
+	entries, err := goList(dir, false, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -121,11 +160,15 @@ func ExportImporter(fset *token.FileSet, exports map[string]string) types.Import
 	})
 }
 
-// goList runs `go list -deps -export -json` over the patterns.
-func goList(dir string, patterns []string) ([]listEntry, error) {
+// goList runs `go list -deps -export -json` over the patterns, with
+// -test when includeTests is set.
+func goList(dir string, includeTests bool, patterns []string) ([]listEntry, error) {
 	args := []string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Incomplete,Error",
+		"-json=ImportPath,Name,Dir,Export,ForTest,GoFiles,CgoFiles,Standard,DepOnly,Incomplete,Error",
+	}
+	if includeTests {
+		args = append(args, "-test")
 	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)

@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockBalance returns the lock-discipline analyzer. It runs two checks
+// over every package:
+//
+//  1. Path balance: a sync.Mutex/RWMutex Lock (or RLock) must be
+//     released on every control-flow path to function exit. A lock
+//     covered by a `defer x.Unlock()` anywhere in the function is
+//     balanced by construction; everything else is checked with a
+//     forward may-analysis over the function's CFG, so early returns,
+//     panics, breaks and conditionally-skipped unlocks are all caught.
+//  2. Copies: lock-bearing values (anything transitively containing a
+//     sync or sync/atomic synchronization primitive) must not be
+//     copied — by-value parameters and receivers, assignments from
+//     addressable expressions, by-value range iteration and by-value
+//     call arguments are all flagged.
+//
+// Functions that intentionally return holding a lock (unlock-in-callee
+// protocols) are the audited exception: annotate the Lock line with
+// //accu:allow lockbalance -- <why>.
+func LockBalance() *Analyzer {
+	a := &Analyzer{
+		Name: "lockbalance",
+		Doc: "require every sync.Mutex/RWMutex Lock to be released on all " +
+			"CFG paths to function exit, and forbid copying lock-bearing values",
+	}
+	a.Run = func(pass *Pass) error {
+		funcBodies(pass.Files, func(_ ast.Node, body *ast.BlockStmt) {
+			checkLockPaths(pass, body)
+		})
+		checkLockCopies(pass)
+		return nil
+	}
+	return a
+}
+
+// lockFact keys one held lock in the dataflow state: the receiver
+// expression's canonical text plus the read/write mode, so RLock pairs
+// with RUnlock and Lock with Unlock.
+type lockFact struct {
+	key  string
+	read bool
+}
+
+// checkLockPaths runs the path-balance dataflow over one function body.
+func checkLockPaths(pass *Pass, body *ast.BlockStmt) {
+	cfg := NewCFG(body)
+
+	// A deferred unlock covers every exit path (including panics), so
+	// the matching Lock generates no obligation at all.
+	deferred := make(map[lockFact]bool)
+	for _, d := range cfg.Defers {
+		if f, op, ok := lockMethodCall(pass, d.Call); ok && isUnlockOp(op) {
+			deferred[f] = true
+		}
+	}
+
+	_, exit := cfg.ForwardMay(func(n ast.Node, facts Facts) {
+		walkBlockNode(n, true, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f, op, ok := lockMethodCall(pass, call)
+			if !ok {
+				return true
+			}
+			if isUnlockOp(op) {
+				delete(facts, f)
+			} else if !deferred[f] {
+				facts[f] = call.Pos()
+			}
+			return true
+		})
+	})
+
+	for k, pos := range exit {
+		f := k.(lockFact)
+		op, unlock := "Lock", "Unlock"
+		if f.read {
+			op, unlock = "RLock", "RUnlock"
+		}
+		pass.Reportf(pos,
+			"%s.%s() is not released on every path to function exit; defer %s.%s() immediately or unlock before each return",
+			f.key, op, f.key, unlock)
+	}
+}
+
+// lockMethodCall recognizes a call to a sync mutex method and returns
+// the lock's dataflow key and the method name. It matches methods
+// declared in package sync whose name is Lock/Unlock/RLock/RUnlock —
+// direct calls, promoted embedded mutexes and sync.Locker interface
+// calls alike.
+func lockMethodCall(pass *Pass, call *ast.CallExpr) (lockFact, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockFact{}, "", false
+	}
+	var m *types.Func
+	if s, ok := pass.Info.Selections[sel]; ok {
+		m, _ = s.Obj().(*types.Func)
+	} else if f, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+		m = f
+	}
+	if m == nil || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return lockFact{}, "", false
+	}
+	switch m.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockFact{}, "", false
+	}
+	key := types.ExprString(ast.Unparen(sel.X))
+	read := m.Name() == "RLock" || m.Name() == "RUnlock"
+	return lockFact{key: key, read: read}, m.Name(), true
+}
+
+func isUnlockOp(op string) bool { return op == "Unlock" || op == "RUnlock" }
+
+// checkLockCopies flags by-value copies of lock-bearing types.
+func checkLockCopies(pass *Pass) {
+	report := func(pos token.Pos, what string, t types.Type) {
+		pass.Reportf(pos, "%s copies lock-bearing value of type %s; use a pointer", what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	lockBearing := func(t types.Type) bool { return lockBearingType(t, make(map[types.Type]bool), 0) }
+
+	checkFieldList(pass, lockBearing, report)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					// `_ = x` evaluates and discards; no second copy
+					// becomes reachable.
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					if t, ok := copiesLockValue(pass, rhs, lockBearing); ok {
+						report(rhs.Pos(), "assignment", t)
+					}
+				}
+			case *ast.RangeStmt:
+				if t := rangeValueType(pass, n.Value); t != nil && lockBearing(t) {
+					if _, isPtr := t.(*types.Pointer); !isPtr {
+						report(n.Value.Pos(), "range value", t)
+					}
+				}
+			case *ast.CallExpr:
+				fun := ast.Unparen(n.Fun)
+				if id, ok := fun.(*ast.Ident); ok {
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+						return true // len/cap/new/... do not copy
+					}
+					if _, isType := pass.Info.Uses[id].(*types.TypeName); isType {
+						return true // conversion of a lock value is caught at its use
+					}
+				}
+				for _, arg := range n.Args {
+					if t, ok := copiesLockValue(pass, arg, lockBearing); ok {
+						report(arg.Pos(), "call argument", t)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if t, ok := copiesLockValue(pass, res, lockBearing); ok {
+						report(res.Pos(), "return", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rangeValueType resolves the static type of a range statement's value
+// variable. A `:=` range declares the ident (types.Info.Defs, not
+// Types); `=` form and blank values resolve through Uses/Types.
+func rangeValueType(pass *Pass, value ast.Expr) types.Type {
+	if value == nil {
+		return nil
+	}
+	if id, ok := ast.Unparen(value).(*ast.Ident); ok {
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return nil // blank identifier
+		}
+		return obj.Type()
+	}
+	if tv, ok := pass.Info.Types[value]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// checkFieldList flags lock-bearing by-value receivers and parameters of
+// every function declaration and literal.
+func checkFieldList(pass *Pass, lockBearing func(types.Type) bool, report func(token.Pos, string, types.Type)) {
+	checkFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if lockBearing(tv.Type) {
+				report(field.Type.Pos(), what, tv.Type)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFields(n.Recv, "by-value receiver")
+				checkFields(n.Type.Params, "by-value parameter")
+			case *ast.FuncLit:
+				checkFields(n.Type.Params, "by-value parameter")
+			}
+			return true
+		})
+	}
+}
+
+// copiesLockValue reports whether evaluating e copies a lock-bearing
+// value: e must be an addressable-shaped expression (a variable, field,
+// index or dereference — composite literals and calls produce fresh
+// values, which may be moved freely) of a non-pointer lock-bearing type.
+func copiesLockValue(pass *Pass, e ast.Expr, lockBearing func(types.Type) bool) (types.Type, bool) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return nil, false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil || !tv.IsValue() {
+		return nil, false
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return nil, false
+	}
+	if !lockBearing(tv.Type) {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// syncNoCopyTypes are the sync / sync/atomic named types that must not
+// be copied after first use.
+var syncNoCopyTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "Once": true, "WaitGroup": true,
+		"Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// lockBearingType reports whether t transitively contains a sync
+// primitive by value (following struct fields and non-empty arrays, but
+// not pointers, slices, maps or channels — those share, they don't
+// copy).
+func lockBearingType(t types.Type, seen map[types.Type]bool, depth int) bool {
+	t = types.Unalias(t)
+	if depth > 8 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			if names, ok := syncNoCopyTypes[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				return true
+			}
+		}
+		return lockBearingType(named.Underlying(), seen, depth+1)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockBearingType(u.Field(i).Type(), seen, depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		if u.Len() > 0 {
+			return lockBearingType(u.Elem(), seen, depth+1)
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, analysis.LockBalance(), analysistest.Fixture{
+		Dir:        "testdata/src/lockbalance_sim",
+		ImportPath: "example.test/internal/sim",
+		Deps:       stubDeps,
+	})
+}

@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestScratchEscape(t *testing.T) {
+	analysistest.Run(t, analysis.ScratchEscape(), analysistest.Fixture{
+		Dir:        "testdata/src/scratchescape_sim",
+		ImportPath: "example.test/internal/sim",
+		Deps:       stubDeps,
+	})
+}
+
+// TestScratchEscapeOutOfScope re-types the fixture outside the scratch
+// packages: the ownership discipline only holds inside internal/sim and
+// internal/core, so nothing may fire elsewhere.
+func TestScratchEscapeOutOfScope(t *testing.T) {
+	_, _, diags := analysistest.Diagnostics(t, analysis.ScratchEscape(), analysistest.Fixture{
+		Dir:        "testdata/src/scratchescape_sim",
+		ImportPath: "example.test/internal/exp",
+		Deps:       stubDeps,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, want 0", len(diags))
+	}
+}

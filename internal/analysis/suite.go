@@ -1,12 +1,22 @@
 package analysis
 
-// NewSuite returns fresh instances of the four accuvet analyzers, in the
+// NewSuite returns fresh instances of the nine accuvet analyzers, in the
 // order they report:
 //
-//	detrand    — no clock / global rand / env reads on the record path
-//	maporder   — no order-dependent effects under map iteration
-//	seedflow   — one Split per seed consumer
-//	metricname — obs metric names match the convention, one kind per name
+// Wave 1 — determinism invariants (AST + object identity):
+//
+//	detrand       — no clock / global rand / env reads on the record path
+//	maporder      — no order-dependent effects under map iteration
+//	seedflow      — one Split per seed consumer
+//	metricname    — obs metric names match the convention, one kind per name
+//
+// Wave 2 — concurrency invariants (CFG + forward dataflow):
+//
+//	lockbalance   — every Lock released on every CFG path; no lock copies
+//	atomicmix     — no variable accessed both atomically and plainly
+//	ctxcancel     — cancel funcs invoked on every path, never dropped
+//	scratchescape — per-worker scratch never escapes its worker goroutine
+//	errcmp        — errors.Is for module sentinels, not == (wrapping-safe)
 //
 // Instances hold per-run state (metricname's cross-package duplicate
 // table), so every checker invocation must call NewSuite rather than
@@ -17,5 +27,10 @@ func NewSuite() []*Analyzer {
 		MapOrder(),
 		SeedFlow(),
 		MetricNames(),
+		LockBalance(),
+		AtomicMix(),
+		CtxCancel(),
+		ScratchEscape(),
+		ErrCmp(),
 	}
 }

@@ -1,0 +1,28 @@
+// Fixture for multi-name //accu:allow directives: one directive listing
+// several analyzers suppresses each of them on the covered line, and
+// only those named.
+package sim
+
+import (
+	"context"
+	"sync"
+)
+
+var mu sync.Mutex
+
+// suppressedBoth violates lockbalance (Lock never released) and
+// ctxcancel (cancel discarded) on one line; a single directive naming
+// both analyzers silences both.
+func suppressedBoth(parent context.Context) context.Context {
+	//accu:allow lockbalance, ctxcancel -- fixture: one directive, two analyzer names
+	ctx, _ := context.WithCancel(parent); mu.Lock()
+	return ctx
+}
+
+// partialDirective names only lockbalance, so ctxcancel still fires on
+// the same line.
+func partialDirective(parent context.Context) context.Context {
+	//accu:allow lockbalance -- fixture: directive covers one analyzer only
+	ctx, _ := context.WithCancel(parent); mu.Lock() // want `cancel func of context\.WithCancel is discarded`
+	return ctx
+}

@@ -1,0 +1,60 @@
+// Fixture for the atomicmix analyzer: a variable whose address feeds
+// sync/atomic must be accessed through sync/atomic everywhere.
+package sim
+
+import "sync/atomic"
+
+// mixed is accessed atomically in bump and plainly in snapshot.
+var mixed int64
+
+// consistent is only ever accessed atomically.
+var consistent int64
+
+// typed uses the typed atomics; methods are race-free by construction.
+var typed atomic.Int64
+
+// slot mixes access modes on a struct field across methods.
+type slot struct {
+	remaining int32
+	plain     int32
+}
+
+func bump() {
+	atomic.AddInt64(&mixed, 1)
+	atomic.AddInt64(&consistent, 1)
+	typed.Add(1)
+}
+
+func snapshot() int64 {
+	return mixed // want `mixed is accessed with sync/atomic at .* but plainly here`
+}
+
+func consistentLoad() int64 {
+	return atomic.LoadInt64(&consistent)
+}
+
+func (s *slot) release() int32 {
+	return atomic.AddInt32(&s.remaining, -1)
+}
+
+func (s *slot) drained() bool {
+	return s.remaining == 0 // want `remaining is accessed with sync/atomic at .* but plainly here`
+}
+
+func (s *slot) plainOnly() int32 {
+	s.plain++
+	return s.plain
+}
+
+func allowedMix() int64 {
+	//accu:allow atomicmix -- fixture: read under external synchronization the analyzer cannot see
+	return mixed
+}
+
+// localMix mixes modes on a local; locals are invisible to other
+// goroutines, so this is style, not a race.
+func localMix() int64 {
+	var n int64
+	atomic.AddInt64(&n, 1)
+	return n
+}

@@ -1,0 +1,27 @@
+// Package core is a minimal stub of internal/core for analyzer fixtures:
+// just enough surface (Policy, Reusable, Runner) for scratchescape
+// fixtures to type-check against the production import path.
+package core
+
+import "example.test/internal/rng"
+
+// Policy mirrors the production attack-policy interface.
+type Policy interface {
+	Name() string
+}
+
+// Reusable mirrors the production per-worker reusable-policy contract;
+// scratchescape resolves this interface by name to classify scratch.
+type Reusable interface {
+	Policy
+	Reseed(seed rng.Seed)
+}
+
+// Runner mirrors the production pooled attack-state runner; it is a
+// named scratch owner type for scratchescape.
+type Runner struct {
+	buf []int
+}
+
+// Run stands in for the production execution entry point.
+func (r *Runner) Run(p Policy) int { return len(r.buf) }

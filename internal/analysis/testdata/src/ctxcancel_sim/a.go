@@ -1,0 +1,67 @@
+// Fixture for the ctxcancel analyzer: cancel funcs must be invoked on
+// every path and never discarded into the blank identifier.
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+func leaksInSwitch(parent context.Context, mode int) {
+	ctx, cancel := context.WithCancel(parent) // want `cancel func cancel is not called on every path`
+	switch mode {
+	case 0:
+		cancel()
+	}
+	_ = ctx
+}
+
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `cancel func of context\.WithCancel is discarded`
+	return ctx
+}
+
+func discardedTimeout(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want `cancel func of context\.WithTimeout is discarded`
+	return ctx
+}
+
+func leaksOnEarlyReturn(parent context.Context, cond bool) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want `cancel func cancel is not called on every path`
+	if cond {
+		return ctx.Err() // early return skips cancel
+	}
+	cancel()
+	return nil
+}
+
+func deferredIsFine(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	return use(ctx)
+}
+
+func calledOnBothBranches(parent context.Context, cond bool) {
+	_, cancel := context.WithDeadline(parent, time.Now())
+	if cond {
+		cancel()
+		return
+	}
+	cancel()
+}
+
+// handedOff passes the cancel func along; the callee owns the obligation
+// now, which the conservative kill treats as discharged.
+func handedOff(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	keep(ctx, cancel)
+}
+
+func allowedLeak(parent context.Context) context.Context {
+	//accu:allow ctxcancel -- fixture: context intentionally lives until process exit
+	ctx, _ := context.WithCancel(parent)
+	return ctx
+}
+
+func use(context.Context) error                 { return nil }
+func keep(context.Context, context.CancelFunc) {}

@@ -1,0 +1,63 @@
+// Fixture for the errcmp analyzer: module error sentinels must be tested
+// with errors.Is, because the engine wraps with %w and errors.Join.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCellTimeout mirrors the engine's exported sentinel.
+var ErrCellTimeout = errors.New("sim: cell timeout")
+
+// errReleased mirrors an unexported sentinel.
+var errReleased = errors.New("sim: instance released")
+
+func attempt() error {
+	return fmt.Errorf("attempt 3: %w", ErrCellTimeout)
+}
+
+func badEqual(err error) bool {
+	return err == ErrCellTimeout // want `use errors\.Is\(err, ErrCellTimeout\)`
+}
+
+func badNotEqual(err error) bool {
+	return err != errReleased // want `use errors\.Is\(err, errReleased\)`
+}
+
+func badReversed(err error) bool {
+	return ErrCellTimeout == err // want `use errors\.Is\(err, ErrCellTimeout\)`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrCellTimeout: // want `use errors\.Is\(err, ErrCellTimeout\)`
+		return "timeout"
+	default:
+		return "other"
+	}
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, ErrCellTimeout)
+}
+
+func nilCheckFine(err error) bool {
+	return err == nil
+}
+
+// stdlib sentinels carry documented ==-comparability contracts.
+func stdlibFine(err error) bool {
+	return err == io.EOF
+}
+
+// comparing two sentinels is an identity test someone wrote on purpose.
+func sentinelPairFine() bool {
+	return ErrCellTimeout == errReleased
+}
+
+func allowedEqual(err error) bool {
+	//accu:allow errcmp -- fixture: err is produced in this function and never wrapped
+	return err == ErrCellTimeout
+}

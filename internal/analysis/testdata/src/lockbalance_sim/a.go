@@ -1,0 +1,119 @@
+// Fixture for the lockbalance analyzer: every Lock must be released on
+// every CFG path, and lock-bearing values must not be copied.
+package sim
+
+import "sync"
+
+var mu sync.Mutex
+var rw sync.RWMutex
+
+// guarded holds a mutex by value; copying it copies the lock.
+type guarded struct {
+	mu  sync.Mutex
+	val int
+}
+
+// registry embeds a lock two levels deep; still lock-bearing.
+type registry struct {
+	inner guarded
+}
+
+func earlyReturnLeaks(cond bool) {
+	mu.Lock() // want `mu\.Lock\(\) is not released on every path`
+	if cond {
+		return
+	}
+	mu.Unlock()
+}
+
+func deferredIsBalanced() {
+	mu.Lock()
+	defer mu.Unlock()
+	work()
+}
+
+func straightLineIsBalanced() int {
+	mu.Lock()
+	v := read()
+	mu.Unlock()
+	return v
+}
+
+func branchBalanced(cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+func panicPathLeaks(cond bool) {
+	mu.Lock() // want `mu\.Lock\(\) is not released on every path`
+	if cond {
+		panic("corrupt state")
+	}
+	mu.Unlock()
+}
+
+func readLockMismatch() {
+	rw.RLock() // want `rw\.RLock\(\) is not released on every path`
+	work()
+	rw.Unlock() // Unlock does not discharge RLock
+}
+
+func readLockBalanced() {
+	rw.RLock()
+	defer rw.RUnlock()
+	work()
+}
+
+func loopSkipsUnlock(n int) {
+	mu.Lock() // want `mu\.Lock\(\) is not released on every path`
+	for i := 0; i < n; i++ {
+		mu.Unlock() // zero-iteration path never unlocks
+	}
+}
+
+func allowedHandover() {
+	//accu:allow lockbalance -- fixture: unlock-in-callee protocol, release() unlocks
+	mu.Lock()
+	work()
+}
+
+func (g guarded) byValueReceiver() int { // want `by-value receiver copies lock-bearing value`
+	return g.val
+}
+
+func byValueParam(g guarded) { // want `by-value parameter copies lock-bearing value`
+	_ = g
+}
+
+func pointerReceiverFine(g *guarded) int {
+	return g.val
+}
+
+func assignmentCopies(g *guarded) {
+	cp := *g // want `assignment copies lock-bearing value`
+	_ = cp
+}
+
+func nestedAssignmentCopies(r *registry) {
+	cp := r.inner // want `assignment copies lock-bearing value`
+	_ = cp
+}
+
+func rangeCopies(gs []guarded) {
+	for _, g := range gs { // want `range value copies lock-bearing value`
+		_ = g.val
+	}
+}
+
+func callArgCopies(g *guarded) {
+	consume(*g) // want `call argument copies lock-bearing value`
+}
+
+func consume(guarded) {} // want `by-value parameter copies lock-bearing value`
+
+func work()     {}
+func read() int { return 0 }

@@ -1,0 +1,9 @@
+// Package report is a fixture stub for a package outside the scratch
+// scope: storing per-worker scratch into its fields crosses the API
+// boundary and must be flagged.
+package report
+
+// Sink accepts arbitrary payloads.
+type Sink struct {
+	Payload any
+}

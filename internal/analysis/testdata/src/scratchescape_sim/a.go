@@ -1,0 +1,85 @@
+// Fixture for the scratchescape analyzer, typed as internal/sim: pooled
+// per-worker scratch must not cross goroutine, channel or shared-variable
+// boundaries.
+package sim
+
+import (
+	"example.test/internal/core"
+	"example.test/internal/report"
+	"example.test/internal/rng"
+)
+
+// scratch mirrors the engine's per-worker pool: a Runner plus cached
+// Reusable policies. It classifies as scratch transitively.
+type scratch struct {
+	runner core.Runner
+	pols   []core.Reusable
+}
+
+// reusablePolicy is a concrete core.Reusable implementation.
+type reusablePolicy struct{ buf []float64 }
+
+func (p *reusablePolicy) Name() string        { return "reusable" }
+func (p *reusablePolicy) Reseed(_ rng.Seed)   {}
+func (p *reusablePolicy) attack(n int) []byte { return make([]byte, n) }
+
+// record is plain result data: no Runner, no Reusable — freely shareable.
+type record struct {
+	policy  string
+	benefit float64
+}
+
+// leaked parks scratch where any goroutine can reach it.
+var leaked *scratch
+
+func captureInGoroutine(sc *scratch, done chan struct{}) {
+	go func() {
+		sc.runner.Run(nil) // want `goroutine captures per-worker scratch sc`
+		close(done)
+	}()
+}
+
+func passToGoroutine(sc *scratch) {
+	go workWith(sc) // want `passed to a goroutine`
+}
+
+func workWith(*scratch) {}
+
+func sendOnChannel(sc *scratch, ch chan *scratch) {
+	ch <- sc // want `sent on a channel`
+}
+
+func sendReusable(p core.Reusable, ch chan core.Reusable) {
+	ch <- p // want `sent on a channel`
+}
+
+func storePackageLevel(sc *scratch) {
+	leaked = sc // want `stored in package-level variable leaked`
+}
+
+func storeForeignField(sc *scratch, s *report.Sink) {
+	s.Payload = sc // want `stored in field Payload`
+}
+
+func allowedHandoff(sc *scratch, ch chan *scratch) {
+	//accu:allow scratchescape -- fixture: ownership transfer, the sender re-arms with fresh scratch
+	ch <- sc
+}
+
+// ownScratch declares its scratch inside the goroutine: each goroutine
+// owns its own pool, which is the engine's worker idiom.
+func ownScratch(done chan struct{}) {
+	go func() {
+		sc := &scratch{pols: make([]core.Reusable, 4)}
+		sc.runner.Run(nil)
+		close(done)
+	}()
+}
+
+// shareRecords sends plain result data; records are not scratch.
+func shareRecords(ch chan record, done chan struct{}) {
+	go func() {
+		ch <- record{policy: "p", benefit: 1}
+		close(done)
+	}()
+}

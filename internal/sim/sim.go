@@ -649,6 +649,7 @@ func (e *engine) runAttempt(ctx context.Context, wk *worker, i, j, attempt int) 
 	sc := wk.scratch
 	ch := make(chan outcome, 1)
 	go func() {
+		//accu:allow scratchescape -- ownership transfer, not sharing: on timeout or cancel the worker abandons this attempt and re-arms with a fresh scratch below, so this goroutine is the scratch's sole owner for its remaining lifetime
 		recs, pol, err := e.attemptCell(sc, i, j, attempt)
 		ch <- outcome{recs: recs, pol: pol, err: err}
 	}()
