@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet accuvet vet-fix bench clean
+.PHONY: all build test race lint vet accuvet vet-fix bench serve service-e2e clean
 
 all: build test lint
 
@@ -40,6 +40,16 @@ vet-fix:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# serve runs the accuserv job service on its default local address with a
+# throwaway data directory under bin/.
+serve:
+	$(GO) run ./cmd/accuserv -data bin/accuserv-data
+
+# service-e2e is the full crash/resume contract test: SIGKILL the server
+# mid-grid, restart, and require a bit-identical result digest.
+service-e2e:
+	bash scripts/service_e2e.sh
 
 clean:
 	rm -rf bin

@@ -197,7 +197,15 @@ type (
 	// FailureSummary reports the cells that failed during a run with
 	// Protocol.ContinueOnError set; MonteCarlo returns it as the error.
 	FailureSummary = sim.FailureSummary
+	// RecordDigest accumulates an order-insensitive SHA-256 fingerprint
+	// of a Monte-Carlo record set, for bit-identical-resume assertions.
+	RecordDigest = sim.RecordDigest
 )
+
+// NewRecordDigest returns an empty record-set digest accumulator; feed it
+// from your collect callback (and CellJournal.Replay when resuming) and
+// compare Sum() across runs.
+func NewRecordDigest() *RecordDigest { return sim.NewRecordDigest() }
 
 // ErrCellTimeout is wrapped by cell errors whose attempts exceeded
 // Protocol.CellTimeout.

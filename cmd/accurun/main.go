@@ -92,6 +92,7 @@ func run(args []string, out io.Writer) error {
 		checkpoint = fs.String("checkpoint", "", "journal completed cells to this JSONL file (-runs > 1 only)")
 		resume     = fs.Bool("resume", false, "resume from an existing -checkpoint journal")
 		keepGoing  = fs.Bool("keep-going", false, "continue past failed cells and report them as warnings (-runs > 1 only)")
+		digest     = fs.Bool("digest", false, "print the canonical SHA-256 record-set digest (-runs > 1 only)")
 
 		metrics    = fs.Bool("metrics", false, "print policy/environment metrics after the trace")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -137,10 +138,10 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return runRepeated(out, generator, setup, factory, *k, *runs, *workers, root, reg,
-			*checkpoint, *resume, *keepGoing)
+			*checkpoint, *resume, *keepGoing, *digest)
 	}
-	if *checkpoint != "" || *keepGoing {
-		return fmt.Errorf("-checkpoint and -keep-going apply to the -runs > 1 Monte-Carlo mode only")
+	if *checkpoint != "" || *keepGoing || *digest {
+		return fmt.Errorf("-checkpoint, -keep-going and -digest apply to the -runs > 1 Monte-Carlo mode only")
 	}
 	g, err := generator.Generate(root.Split("network"))
 	if err != nil {
@@ -263,7 +264,7 @@ func policyFactory(name string, wd, wi float64, reg *accu.Metrics) (accu.PolicyF
 // statistics rather than a per-request trace. With checkpoint set,
 // completed cells journal to that file and a resumed invocation replays
 // them into the statistics before computing only what is missing.
-func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, factory accu.PolicyFactory, k, runs, workers int, root accu.Seed, reg *accu.Metrics, checkpoint string, resume, keepGoing bool) error {
+func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, factory accu.PolicyFactory, k, runs, workers int, root accu.Seed, reg *accu.Metrics, checkpoint string, resume, keepGoing, digest bool) error {
 	protocol := accu.Protocol{
 		Gen:             generator,
 		Setup:           setup,
@@ -288,7 +289,14 @@ func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, fact
 		sumFriends         int
 		sumCautiousFriends int
 	)
+	var dig *accu.RecordDigest
+	if digest {
+		dig = accu.NewRecordDigest()
+	}
 	collect := func(r accu.Record) {
+		if dig != nil {
+			dig.Collect(r)
+		}
 		n++
 		b := r.Result.Benefit
 		sum += b
@@ -346,6 +354,9 @@ func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, fact
 		float64(sumFriends)/float64(n), float64(sumCautiousFriends)/float64(n))
 	fmt.Fprintf(out, "timing:  %v wall, %.1f runs/sec\n",
 		wall.Round(time.Millisecond), float64(n)/wall.Seconds())
+	if dig != nil {
+		fmt.Fprintf(out, "digest:  %s\n", dig.Sum())
+	}
 	if snap := reg.Snapshot(); !snap.Empty() {
 		fmt.Fprintf(out, "\n-- metrics --\n%s", snap.Render())
 	}

@@ -1,0 +1,86 @@
+// Command accuserv serves Monte-Carlo simulation grids over HTTP.
+//
+// Jobs are submitted as JSON specs, queued by priority under per-tenant
+// quotas, executed by a worker pool, and checkpointed per cell so that a
+// killed or drained server resumes every interrupted job from its last
+// durable cell after restart. Progress streams over SSE; results, metrics
+// and the admin surface (list/cancel/resume) are plain JSON endpoints.
+//
+// On SIGINT/SIGTERM the server stops accepting jobs, preempts running
+// ones (their attempt is not consumed), waits for the workers to park,
+// then shuts the listener down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/accu-sim/accu/internal/serv"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8470", "listen address")
+		dataDir      = flag.String("data", "accuserv-data", "state directory (job documents and checkpoints)")
+		workers      = flag.Int("workers", 0, "concurrent jobs (0 = number of CPUs)")
+		quota        = flag.Int("quota", 8, "max active (queued+running) jobs per tenant (0 = unlimited)")
+		maxAttempts  = flag.Int("max-attempts", 3, "execution attempts per job before it fails")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs to checkpoint and park on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "accuserv: ", log.LstdFlags)
+
+	srv, err := serv.New(serv.Config{
+		Dir:                *dataDir,
+		Workers:            *workers,
+		DefaultQuota:       *quota,
+		DefaultMaxAttempts: *maxAttempts,
+		Logf:               logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (data %s)", *addr, *dataDir)
+
+	select {
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+
+	logger.Printf("signal received, draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain: %v", err)
+	} else {
+		logger.Printf("drained; all workers parked")
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+}

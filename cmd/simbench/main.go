@@ -44,6 +44,10 @@ type result struct {
 	K               int     `json:"k"`
 	Workers         int     `json:"workers"`
 	ResolvedWorkers int     `json:"resolvedWorkers"`
+	// Oversubscribed flags a worker count above GOMAXPROCS: the workers
+	// time-slice one set of cores, so the row measures scheduling overhead,
+	// not parallel speedup. Such rows must not be read as scaling data.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 	Cells           int     `json:"cells"`
 	FailedCells     int     `json:"failedCells,omitempty"`
 	Seconds         float64 `json:"seconds"`
@@ -54,9 +58,13 @@ type result struct {
 
 // output is the full benchmark report.
 type output struct {
-	Preset     string   `json:"preset"`
-	Scale      float64  `json:"scale"`
-	GoVersion  string   `json:"goVersion"`
+	Preset    string  `json:"preset"`
+	Scale     float64 `json:"scale"`
+	GoVersion string  `json:"goVersion"`
+	// NumCPU and GoMaxProcs record the machine the numbers came from;
+	// throughput rows are only comparable between reports with the same
+	// values.
+	NumCPU     int      `json:"numCpu"`
 	GoMaxProcs int      `json:"goMaxProcs"`
 	Generated  string   `json:"generated"`
 	Results    []result `json:"results"`
@@ -80,6 +88,7 @@ type config struct {
 	shapes   []shape
 	workers  []int
 	chaos    bool
+	strict   bool
 }
 
 // parseFlags resolves the command line into a config.
@@ -96,11 +105,12 @@ func parseFlags(args []string) (config, error) {
 		workers  = fs.String("workers", "1,4,8", "comma-separated worker counts")
 		quick    = fs.Bool("quick", false, "CI smoke sizing (tiny grids, overrides -shapes)")
 		chaos    = fs.Bool("chaos", false, "inject seeded faults (failing/stalling cells) and run with continue-on-error + retries")
+		strict   = fs.Bool("strict", false, "refuse worker counts above GOMAXPROCS instead of annotating them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
-	c := config{preset: *preset, scale: *scale, k: *k, cautious: *cautious, seed: *seed, out: *out, chaos: *chaos}
+	c := config{preset: *preset, scale: *scale, k: *k, cautious: *cautious, seed: *seed, out: *out, chaos: *chaos, strict: *strict}
 	if *quick {
 		*shapes = "1x6,4x2"
 		c.k = 10
@@ -159,11 +169,21 @@ func run(args []string, logw *os.File) error {
 		}
 	}
 
+	maxProcs := runtime.GOMAXPROCS(0)
+	if cfg.strict {
+		for _, w := range cfg.workers {
+			if w > maxProcs {
+				return fmt.Errorf("workers=%d exceeds GOMAXPROCS=%d: the row would measure time-slicing, not parallelism (drop -strict to annotate instead)", w, maxProcs)
+			}
+		}
+	}
+
 	out := output{
 		Preset:     cfg.preset,
 		Scale:      cfg.scale,
 		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: maxProcs,
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, sh := range cfg.shapes {
@@ -185,6 +205,11 @@ func run(args []string, logw *os.File) error {
 			r, err := measure(protocol, factories)
 			if err != nil {
 				return fmt.Errorf("networks=%d runs=%d workers=%d: %w", sh.Networks, sh.Runs, workers, err)
+			}
+			if workers > maxProcs {
+				r.Oversubscribed = true
+				fmt.Fprintf(os.Stderr, "simbench: WARNING: workers=%d > GOMAXPROCS=%d — row annotated oversubscribed; its throughput measures time-slicing, not parallel scaling\n",
+					workers, maxProcs)
 			}
 			fmt.Fprintf(logw, "networks=%-3d runs=%-3d workers=%-2d (resolved %d): %8.1f cells/sec, %7.1f allocs/cell, util %d%%, %d failed cells\n",
 				r.Networks, r.Runs, r.Workers, r.ResolvedWorkers, r.CellsPerSec, r.AllocsPerCell, r.UtilizationPct, r.FailedCells)

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -81,6 +83,52 @@ func TestChaosModeCompletes(t *testing.T) {
 	}
 	if !anyFailed {
 		t.Error("chaos mode injected no failures across any shape; rates or seed wiring broken")
+	}
+}
+
+// TestOversubscriptionAnnotated checks that worker counts beyond
+// GOMAXPROCS are flagged in the report (and that honest counts are not),
+// and that -strict refuses them outright.
+func TestOversubscriptionAnnotated(t *testing.T) {
+	over := runtime.GOMAXPROCS(0) + 1
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-quick",
+		"-scale", "0.01",
+		"-k", "5",
+		"-shapes", "1x2",
+		"-workers", fmt.Sprintf("1,%d", over),
+		"-out", outPath,
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got output
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.NumCPU <= 0 || got.GoMaxProcs <= 0 {
+		t.Errorf("machine fields numCpu=%d goMaxProcs=%d, want both positive", got.NumCPU, got.GoMaxProcs)
+	}
+	for _, r := range got.Results {
+		want := r.Workers > got.GoMaxProcs
+		if r.Oversubscribed != want {
+			t.Errorf("workers=%d (GOMAXPROCS %d): oversubscribed=%v, want %v",
+				r.Workers, got.GoMaxProcs, r.Oversubscribed, want)
+		}
+	}
+
+	err = run([]string{
+		"-quick", "-strict",
+		"-workers", fmt.Sprintf("%d", over),
+		"-out", filepath.Join(t.TempDir(), "strict.json"),
+	}, os.Stderr)
+	if err == nil {
+		t.Fatalf("-strict with workers=%d (GOMAXPROCS %d): want refusal", over, runtime.GOMAXPROCS(0))
 	}
 }
 

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -78,6 +79,54 @@ func (r *Registry) Snapshot() *Snapshot {
 // Empty reports whether the snapshot holds no instruments.
 func (s *Snapshot) Empty() bool {
 	return s == nil || (len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0)
+}
+
+// Prefixed returns a copy of the snapshot with prefix prepended to every
+// instrument name. It is how a multi-registry process (one registry per
+// job, say) scopes each registry's instruments before merging them into
+// one dump: reg.Snapshot().Prefixed("job.j42."). The prefix should keep
+// the combined names valid under NamePattern. Returns nil on a nil
+// snapshot.
+func (s *Snapshot) Prefixed(prefix string) *Snapshot {
+	if s == nil {
+		return nil
+	}
+	out := &Snapshot{
+		Counters:   append([]CounterValue(nil), s.Counters...),
+		Gauges:     append([]GaugeValue(nil), s.Gauges...),
+		Histograms: append([]HistogramValue(nil), s.Histograms...),
+	}
+	for i := range out.Counters {
+		out.Counters[i].Name = prefix + out.Counters[i].Name
+	}
+	for i := range out.Gauges {
+		out.Gauges[i].Name = prefix + out.Gauges[i].Name
+	}
+	for i := range out.Histograms {
+		out.Histograms[i].Name = prefix + out.Histograms[i].Name
+	}
+	return out
+}
+
+// Merge returns a new snapshot holding both sides' instruments, sorted by
+// name. Either side may be nil. Names are expected to be disjoint (scope
+// them with Prefixed first); duplicates are kept as-is, side by side.
+func (s *Snapshot) Merge(o *Snapshot) *Snapshot {
+	if s.Empty() {
+		return o.Prefixed("") // copy
+	}
+	if o.Empty() {
+		return s.Prefixed("")
+	}
+	out := &Snapshot{
+		Counters:   append(append([]CounterValue(nil), s.Counters...), o.Counters...),
+		Gauges:     append(append([]GaugeValue(nil), s.Gauges...), o.Gauges...),
+		Histograms: append(append([]HistogramValue(nil), s.Histograms...), o.Histograms...),
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
 }
 
 // Tables renders the snapshot as fixed-width result tables (one per

@@ -1,0 +1,202 @@
+package serv
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/accu-sim/accu/internal/sim"
+)
+
+// referenceRun executes the spec's protocol directly — no service, no
+// checkpoint — and returns the canonical digest and record count a job of
+// the same spec must reproduce.
+func referenceRun(t *testing.T, spec Spec) (string, int) {
+	t.Helper()
+	protocol, factories, err := spec.Build(nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dig := sim.NewRecordDigest()
+	if err := sim.Run(context.Background(), protocol, factories, dig.Collect); err != nil {
+		t.Fatalf("reference sim.Run: %v", err)
+	}
+	return dig.Sum(), dig.Count()
+}
+
+// TestExecuteJobMatchesDirectRun runs one job through the real executor
+// and checks the result digest against an uninterrupted in-process run.
+func TestExecuteJobMatchesDirectRun(t *testing.T) {
+	spec := testSpec()
+	wantDigest, wantRecords := referenceRun(t, spec)
+
+	s := newTestServer(t, Config{})
+	s.Start()
+	defer drain(t, s)
+	job, err := s.Submit(SubmitRequest{ID: "direct", Spec: spec})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitState(t, s, job.ID, StateDone)
+	if done.Result == nil {
+		t.Fatal("done job has no Result")
+	}
+	if done.Result.Digest != wantDigest {
+		t.Errorf("digest = %s, want %s", done.Result.Digest, wantDigest)
+	}
+	if done.Result.Records != wantRecords {
+		t.Errorf("records = %d, want %d", done.Result.Records, wantRecords)
+	}
+	if len(done.Result.Policies) != len(spec.Policies) {
+		t.Errorf("policy results = %d, want %d", len(done.Result.Policies), len(spec.Policies))
+	}
+	for _, pr := range done.Result.Policies {
+		if pr.FinalBenefit.Count == 0 {
+			t.Errorf("policy %s: empty FinalBenefit aggregate", pr.Policy)
+		}
+	}
+}
+
+// TestCancelResumeBitIdentical interrupts a real run mid-grid with a
+// client cancel, resumes it, and checks the finished job's digest is
+// bit-identical to an uninterrupted run: the checkpoint journal plus the
+// deterministic per-cell seeding make the interruption invisible.
+func TestCancelResumeBitIdentical(t *testing.T) {
+	spec := testSpec()
+	spec.Networks = 2
+	spec.Runs = 20 // 80 records: wide enough to cancel mid-grid reliably
+	wantDigest, wantRecords := referenceRun(t, spec)
+
+	s := newTestServer(t, Config{})
+	// First execution: run the real executor, cancelling from the side
+	// once a few records are durable. The post-Resume execution also has
+	// Attempt == 1 (Resume resets the budget), so a Once gates the watcher.
+	interrupted := make(chan struct{})
+	var once sync.Once
+	s.execute = func(ctx context.Context, e *entry) (*Result, error) {
+		once.Do(func() {
+			go func() {
+				defer close(interrupted)
+				for e.done.Load() < 3 {
+					time.Sleep(time.Millisecond)
+				}
+				if _, err := s.Cancel(e.job.ID); err != nil {
+					t.Errorf("mid-run Cancel: %v", err)
+				}
+			}()
+		})
+		return s.executeJob(ctx, e)
+	}
+	s.Start()
+	defer drain(t, s)
+
+	job, err := s.Submit(SubmitRequest{ID: "resumable", Spec: spec})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	cancelled := waitState(t, s, job.ID, StateCancelled)
+	<-interrupted
+	if cancelled.Progress.Done == 0 {
+		t.Fatal("cancelled with zero records: interruption did not land mid-grid")
+	}
+	if cancelled.Progress.Done >= int64(wantRecords) {
+		t.Fatalf("cancelled after %d/%d records: interruption landed too late", cancelled.Progress.Done, wantRecords)
+	}
+	if !s.store.checkpointExists(job.ID) {
+		t.Fatal("no checkpoint journal after cancelled run")
+	}
+
+	if _, err := s.Resume(job.ID); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	done := waitState(t, s, job.ID, StateDone)
+	if done.Result == nil {
+		t.Fatal("resumed job has no Result")
+	}
+	if done.Result.Digest != wantDigest {
+		t.Errorf("resumed digest = %s, want %s (bit-identical to uninterrupted run)", done.Result.Digest, wantDigest)
+	}
+	if done.Result.Records != wantRecords {
+		t.Errorf("resumed records = %d, want %d", done.Result.Records, wantRecords)
+	}
+	if done.Progress.Resumed == 0 {
+		t.Error("Progress.Resumed = 0, want the checkpointed cells of attempt 1")
+	}
+	if done.Progress.Done+done.Progress.Resumed != int64(wantRecords) {
+		t.Errorf("Done %d + Resumed %d != %d", done.Progress.Done, done.Progress.Resumed, wantRecords)
+	}
+}
+
+// TestRestartResumeBitIdentical simulates the crash path: the process
+// "dies" with a job half done (running state persisted, no clean
+// transition), a new server over the same directory recovers it, and the
+// finished digest still matches the uninterrupted reference.
+func TestRestartResumeBitIdentical(t *testing.T) {
+	spec := testSpec()
+	spec.Networks = 2
+	spec.Runs = 20
+	wantDigest, wantRecords := referenceRun(t, spec)
+
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{Dir: dir})
+	// Run attempt 1 with a context we abandon mid-grid, then persist the
+	// running state as a crash would leave it.
+	crashed := make(chan struct{})
+	s1.execute = func(ctx context.Context, e *entry) (*Result, error) {
+		runCtx, stop := context.WithCancel(ctx)
+		go func() {
+			for e.done.Load() < 3 {
+				time.Sleep(time.Millisecond)
+			}
+			stop()
+		}()
+		res, err := s1.executeJob(runCtx, e)
+		stop()
+		close(crashed)
+		return res, err
+	}
+	s1.Start()
+	job, err := s1.Submit(SubmitRequest{ID: "crashjob", Spec: spec})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-crashed
+	waitState(t, s1, job.ID, StateFailed) // context cancel with no cause = execution error
+	// Forge the crash: rewrite the document as if the process died while
+	// running, then abandon s1 without draining it.
+	s1.mu.Lock()
+	e := s1.jobs[job.ID]
+	e.job.State = StateRunning
+	e.job.Attempt = 1
+	e.job.Error = ""
+	if err := s1.store.saveJob(&e.job); err != nil {
+		t.Fatalf("saveJob: %v", err)
+	}
+	s1.mu.Unlock()
+	drain(t, s1)
+
+	s2 := newTestServer(t, Config{Dir: dir})
+	recovered, err := s2.Get(job.ID)
+	if err != nil {
+		t.Fatalf("Get after restart: %v", err)
+	}
+	if recovered.State != StateQueued {
+		t.Fatalf("recovered state = %s, want queued", recovered.State)
+	}
+	s2.Start()
+	defer drain(t, s2)
+	done := waitState(t, s2, job.ID, StateDone)
+	if done.Result == nil {
+		t.Fatal("recovered job has no Result")
+	}
+	if done.Result.Digest != wantDigest {
+		t.Errorf("post-restart digest = %s, want %s", done.Result.Digest, wantDigest)
+	}
+	if done.Result.Records != wantRecords {
+		t.Errorf("post-restart records = %d, want %d", done.Result.Records, wantRecords)
+	}
+	if done.Progress.Resumed == 0 {
+		t.Error("Progress.Resumed = 0, want checkpointed cells from before the crash")
+	}
+}

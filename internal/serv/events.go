@@ -1,0 +1,97 @@
+package serv
+
+import "sync"
+
+// Event is one job notification, serialized as the SSE data payload.
+// Type is "progress" (one collected record) or "state" (a lifecycle
+// transition).
+type Event struct {
+	Type  string `json:"type"`
+	JobID string `json:"jobId"`
+	State State  `json:"state"`
+
+	// Progress fields (Type == "progress"): grid-wide completion plus
+	// the just-completed cell's coordinates.
+	Done    int64  `json:"done,omitempty"`
+	Resumed int64  `json:"resumed,omitempty"`
+	Total   int64  `json:"total,omitempty"`
+	Policy  string `json:"policy,omitempty"`
+	Network int    `json:"network,omitempty"`
+	Run     int    `json:"run,omitempty"`
+
+	// Error carries the failure message of a failed transition.
+	Error string `json:"error,omitempty"`
+}
+
+// hub fans a job's events out to its SSE subscribers. Publishing never
+// blocks the job runner: a subscriber that cannot keep up loses
+// intermediate progress events (they are monotonic, so the next one
+// supersedes them), and the terminal transition is signalled by closing
+// the hub — subscribers then re-read the job document for the final
+// state, so a dropped terminal event cannot strand a client.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan Event]struct{})}
+}
+
+// subscribe registers a listener. The returned cancel is idempotent and
+// must be called when the listener goes away. On an already-closed hub
+// the returned channel is closed immediately.
+func (h *hub) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 64)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, ok := h.subs[ch]; ok {
+				delete(h.subs, ch)
+				close(ch)
+			}
+			h.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// publish broadcasts one event, dropping it for subscribers whose buffer
+// is full.
+func (h *hub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop; progress is monotonic
+		}
+	}
+}
+
+// close ends the stream for every subscriber. Safe to call repeatedly.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

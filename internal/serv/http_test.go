@@ -1,0 +1,265 @@
+package serv
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// httpServer wires a test Server into an httptest listener.
+func httpServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any, header map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp, out
+}
+
+func TestHTTPSubmitLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+	gate := make(chan struct{})
+	s.execute = func(ctx context.Context, e *entry) (*Result, error) {
+		<-gate
+		e.done.Store(8)
+		return &Result{Records: 8, Digest: "deadbeef"}, nil
+	}
+	s.Start()
+	defer drain(t, s)
+	ts := httpServer(t, s)
+
+	resp, body := postJSON(t, ts.URL+"/api/v1/jobs",
+		SubmitRequest{ID: "httpjob", Spec: testSpec()},
+		map[string]string{"X-Accu-Tenant": "team_a"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatalf("parse submit response: %v", err)
+	}
+	if job.ID != "httpjob" || job.Tenant != "team_a" {
+		t.Fatalf("job = %+v, want httpjob/team_a", job)
+	}
+
+	// Result of an unfinished job conflicts.
+	waitState(t, s, "httpjob", StateRunning)
+	resp, _ = getJSON(t, ts.URL+"/api/v1/jobs/httpjob/result")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result-while-running status = %d, want 409", resp.StatusCode)
+	}
+
+	close(gate)
+	waitState(t, s, "httpjob", StateDone)
+
+	resp, body = getJSON(t, ts.URL+"/api/v1/jobs/httpjob")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get status = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatalf("parse job: %v", err)
+	}
+	if job.State != StateDone {
+		t.Fatalf("state = %s, want done", job.State)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/api/v1/jobs/httpjob/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", resp.StatusCode)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("parse result: %v", err)
+	}
+	if res.Digest != "deadbeef" || res.Records != 8 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/api/v1/jobs?tenant=team_a")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	var list struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("parse list: %v", err)
+	}
+	if len(list.Jobs) != 1 {
+		t.Fatalf("list = %d jobs, want 1", len(list.Jobs))
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	s := newTestServer(t, Config{DefaultQuota: 1})
+	ts := httpServer(t, s) // workers not started: jobs stay queued
+
+	if resp, _ := getJSON(t, ts.URL+"/api/v1/jobs/nosuch"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+	if resp, body := postJSON(t, ts.URL+"/api/v1/jobs", SubmitRequest{ID: "Bad ID", Spec: testSpec()}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid id status = %d, body %s, want 400", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/api/v1/jobs", map[string]any{"bogus": true}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status = %d, body %s, want 400", resp.StatusCode, body)
+	}
+
+	if resp, body := postJSON(t, ts.URL+"/api/v1/jobs", SubmitRequest{ID: "q1", Spec: testSpec()}, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/api/v1/jobs", SubmitRequest{ID: "q1", Spec: testSpec()}, nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate status = %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/api/v1/jobs", SubmitRequest{ID: "q2", Spec: testSpec()}, nil); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("quota status = %d, want 429", resp.StatusCode)
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/api/v1/jobs/q1/cancel", nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("cancel status = %d, want 202", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/api/v1/jobs/q1/cancel", nil, nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("re-cancel status = %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/api/v1/jobs/q1/resume", nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("resume status = %d, want 202", resp.StatusCode)
+	}
+
+	if resp, _ := getJSON(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/metrics?job=nosuch"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("metrics unknown job status = %d, want 404", resp.StatusCode)
+	}
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics status = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "serv.jobs_submitted") {
+		t.Errorf("metrics body missing serv.jobs_submitted: %s", body)
+	}
+
+	drain(t, s)
+	if resp, _ := getJSON(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/api/v1/jobs", SubmitRequest{ID: "late", Spec: testSpec()}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining submit status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// readSSE consumes one SSE stream, returning the decoded events in order.
+func readSSE(t *testing.T, resp *http.Response) []Event {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []Event
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("parse SSE data %q: %v", data, err)
+			}
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+func TestHTTPEventsStream(t *testing.T) {
+	s := newTestServer(t, Config{})
+	gate := make(chan struct{})
+	s.execute = func(ctx context.Context, e *entry) (*Result, error) {
+		for i := int64(1); i <= 3; i++ {
+			e.done.Store(i)
+			e.hub.publish(Event{Type: "progress", JobID: e.job.ID, State: StateRunning, Done: i, Total: 8})
+		}
+		<-gate
+		return &Result{Records: 8}, nil
+	}
+	s.Start()
+	defer drain(t, s)
+	ts := httpServer(t, s)
+
+	if resp, body := postJSON(t, ts.URL+"/api/v1/jobs", SubmitRequest{ID: "ssejob", Spec: testSpec()}, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	waitState(t, s, "ssejob", StateRunning)
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/ssejob/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	streamed := make(chan []Event, 1)
+	go func() { streamed <- readSSE(t, resp) }()
+
+	close(gate)
+	waitState(t, s, "ssejob", StateDone)
+	events := <-streamed
+
+	if len(events) < 2 {
+		t.Fatalf("stream had %d events, want at least opening + final state: %+v", len(events), events)
+	}
+	if first := events[0]; first.Type != "state" {
+		t.Errorf("first event = %+v, want opening state snapshot", first)
+	}
+	last := events[len(events)-1]
+	if last.Type != "state" || last.State != StateDone {
+		t.Errorf("last event = %+v, want terminal done state", last)
+	}
+
+	// A stream opened on a finished job still reports the final state.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/ssejob/events")
+	if err != nil {
+		t.Fatalf("GET events after done: %v", err)
+	}
+	late := readSSE(t, resp)
+	if len(late) == 0 || late[len(late)-1].State != StateDone {
+		t.Errorf("late stream = %+v, want done state", late)
+	}
+
+	if resp, _ := getJSON(t, ts.URL+"/api/v1/jobs/nosuch/events"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("events unknown job status = %d, want 404", resp.StatusCode)
+	}
+}

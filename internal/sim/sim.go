@@ -82,7 +82,9 @@ type Protocol struct {
 	// collect, no locking needed) after every collected cell record, so
 	// long experiments can report liveness. Cells cancelled mid-flight,
 	// failed cells and checkpoint-skipped cells are not reported; Done
-	// reaches Total only on a full, error-free, non-resumed run.
+	// reaches Total only on a full, error-free, non-resumed run. On a
+	// resumed run Progress.Resumed carries the already-durable record
+	// count, so Done + Resumed tracks grid-wide completion.
 	OnProgress func(Progress)
 
 	// Checkpoint, when non-nil, makes the grid durable: every completed
@@ -123,6 +125,11 @@ type Progress struct {
 	// Done is the number of cells completed so far; Total the grid size
 	// Networks × Runs × len(factories).
 	Done, Total int
+	// Resumed is the number of records already durable in the checkpoint
+	// when this run started (skipped cells × policy roster); 0 on a fresh
+	// run. Done counts only this run's deliveries, so grid-wide completion
+	// is Done + Resumed out of Total.
+	Resumed int
 	// Policy is the completed cell's policy name.
 	Policy string
 	// Network and Run locate the completed cell in the Monte-Carlo grid.
@@ -301,6 +308,7 @@ type engine struct {
 	workers   int
 	nets      []netSlot
 	skip      []bool // cells the checkpoint already holds
+	resumed   int    // records the checkpoint already holds (skipped cells × factories)
 
 	mu       sync.Mutex
 	failures []*CellError // failed cells under ContinueOnError
@@ -337,6 +345,7 @@ func newEngine(p Protocol, factories []PolicyFactory) (*engine, error) {
 		i, j := c/p.Runs, c%p.Runs
 		if p.Checkpoint != nil && p.Checkpoint.Done(CellKey{Network: i, Run: j}) {
 			e.skip[c] = true
+			e.resumed += len(factories)
 			em.cellsSkipped.Inc()
 			continue
 		}
@@ -425,7 +434,7 @@ func (e *engine) run(ctx context.Context, collect func(Record)) error {
 		collect(rec)
 		done++
 		if e.p.OnProgress != nil {
-			e.p.OnProgress(Progress{Done: done, Total: total, Policy: rec.Policy, Network: rec.Network, Run: rec.Run})
+			e.p.OnProgress(Progress{Done: done, Total: total, Resumed: e.resumed, Policy: rec.Policy, Network: rec.Network, Run: rec.Run})
 		}
 	}
 

@@ -1,0 +1,47 @@
+package stats
+
+// WelfordSnapshot is the JSON-marshalable view of one accumulator: the
+// derived statistics a results API returns without exposing the mutable
+// accumulator itself. Mean/Std carry the full float64 precision so two
+// snapshots of identical record sets marshal to identical bytes.
+type WelfordSnapshot struct {
+	Count    int64   `json:"count"`
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+	Std      float64 `json:"std"`
+	StdErr   float64 `json:"stdErr"`
+	CI95     float64 `json:"ci95"`
+}
+
+// Snapshot captures the accumulator's derived statistics.
+func (w *Welford) Snapshot() WelfordSnapshot {
+	return WelfordSnapshot{
+		Count:    w.Count(),
+		Mean:     w.Mean(),
+		Variance: w.Variance(),
+		Std:      w.Std(),
+		StdErr:   w.StdErr(),
+		CI95:     w.CI95(),
+	}
+}
+
+// SeriesSnapshot is the JSON-marshalable view of a Series: one point
+// snapshot per x position, in axis order.
+type SeriesSnapshot struct {
+	Label  string            `json:"label"`
+	Xs     []float64         `json:"xs"`
+	Points []WelfordSnapshot `json:"points"`
+}
+
+// Snapshot captures the series' per-position statistics.
+func (s *Series) Snapshot() SeriesSnapshot {
+	out := SeriesSnapshot{
+		Label:  s.Label,
+		Xs:     append([]float64(nil), s.xs...),
+		Points: make([]WelfordSnapshot, len(s.accs)),
+	}
+	for i := range s.accs {
+		out.Points[i] = s.accs[i].Snapshot()
+	}
+	return out
+}
