@@ -317,6 +317,9 @@ func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, fact
 		if replayed := cells.Cells(); replayed > 0 {
 			fmt.Fprintf(os.Stderr, "accurun: resuming %d completed cell(s) from %s\n", replayed, checkpoint)
 		}
+		if d := cells.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "accurun: warning: %s: corrupt journal line discarded %d valid completed cell(s) after it; they will re-run\n", checkpoint, d)
+		}
 		cells.Replay(collect)
 		protocol.Checkpoint = cells
 	}

@@ -203,6 +203,56 @@ func TestCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestCheckpointResumeDigest pins that -digest folds the replayed
+// checkpoint records into the digest: a resumed run — whether it
+// replays every cell or only half the journal — must print the same
+// digest as an uninterrupted run of the same protocol.
+func TestCheckpointResumeDigest(t *testing.T) {
+	digestOf := func(args ...string) string {
+		args = append([]string{
+			"-preset", "slashdot", "-scale", "0.02", "-k", "10",
+			"-cautious", "5", "-runs", "5", "-digest",
+		}, args...)
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range strings.Split(buf.String(), "\n") {
+			if d, ok := strings.CutPrefix(l, "digest:"); ok {
+				return strings.TrimSpace(d)
+			}
+		}
+		t.Fatalf("no digest line in:\n%s", buf.String())
+		return ""
+	}
+
+	want := digestOf()
+
+	ckpt := filepath.Join(t.TempDir(), "cells.jsonl")
+	if got := digestOf("-checkpoint", ckpt); got != want {
+		t.Fatalf("checkpointed digest %s, want %s", got, want)
+	}
+	// Full replay: every record comes from the journal.
+	if got := digestOf("-checkpoint", ckpt, "-resume"); got != want {
+		t.Errorf("fully replayed digest %s, want %s", got, want)
+	}
+	// Partial replay: keep half the journal, recompute the rest.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	if err := os.WriteFile(ckpt, []byte(strings.Join(lines[:len(lines)/2], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := digestOf("-checkpoint", ckpt, "-resume"); got != want {
+		t.Errorf("partially replayed digest %s, want %s", got, want)
+	}
+}
+
 func TestCheckpointFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-resume"}, &buf); err == nil {

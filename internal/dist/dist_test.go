@@ -1,0 +1,399 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/accu-sim/accu/internal/obs"
+	"github.com/accu-sim/accu/internal/serv"
+	"github.com/accu-sim/accu/internal/sim"
+	"github.com/accu-sim/accu/internal/sim/fault"
+)
+
+// testSpec is a small grid: 2 networks × 3 runs = 6 cells, two policies.
+func testSpec() serv.Spec {
+	cautious := 5
+	return serv.Spec{
+		Preset:   "slashdot",
+		Scale:    0.02,
+		Cautious: &cautious,
+		Policies: []serv.PolicySpec{{Name: "random"}, {Name: "greedy"}},
+		Networks: 2,
+		Runs:     3,
+		K:        8,
+		Seed:     7,
+		Workers:  1,
+	}
+}
+
+// localReference runs the spec's grid locally, uninterrupted, and
+// returns the canonical digest and record count — the contract every
+// distributed execution must reproduce bit for bit.
+func localReference(t *testing.T, spec serv.Spec) (string, int) {
+	t.Helper()
+	protocol, factories, err := spec.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig := sim.NewRecordDigest()
+	records := 0
+	if err := sim.Run(context.Background(), protocol, factories, func(rec sim.Record) {
+		dig.Collect(rec)
+		records++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dig.Sum(), records
+}
+
+// newTestCoordinator builds a coordinator over t.TempDir with a short
+// lease TTL and its HTTP server.
+func newTestCoordinator(t *testing.T, spec serv.Spec, rangeSize int, ttl time.Duration, reg *obs.Registry) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	coord, err := New(Config{
+		Spec:      spec,
+		Dir:       t.TempDir(),
+		RangeSize: rangeSize,
+		LeaseTTL:  ttl,
+		Metrics:   reg,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		coord.Close()
+	})
+	return coord, srv
+}
+
+func counterValue(reg *obs.Registry, name string) int64 {
+	return reg.Counter(name).Value()
+}
+
+// TestDistributedDigestMatchesLocal is the package's core contract: a
+// grid executed by two workers over HTTP aggregates to the same record
+// digest as one uninterrupted local run.
+func TestDistributedDigestMatchesLocal(t *testing.T) {
+	spec := testSpec()
+	wantDigest, wantRecords := localReference(t, spec)
+
+	reg := obs.New()
+	coord, srv := newTestCoordinator(t, spec, 2, 30*time.Second, reg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{
+				Coordinator:  srv.URL,
+				ID:           []string{"wa", "wb"}[i],
+				PollInterval: 10 * time.Millisecond,
+				Logf:         t.Logf,
+			}
+			errs[i] = w.Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("workers returned but grid not done")
+	}
+	res, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != wantDigest {
+		t.Errorf("distributed digest %s, want %s", res.Digest, wantDigest)
+	}
+	if res.Records != wantRecords {
+		t.Errorf("distributed records %d, want %d", res.Records, wantRecords)
+	}
+	if got := counterValue(reg, "dist.cells_accepted"); got != int64(spec.Networks*spec.Runs) {
+		t.Errorf("cells_accepted = %d, want %d", got, spec.Networks*spec.Runs)
+	}
+	// Both policy aggregates must be populated with one observation per
+	// (network, run, policy) record.
+	if len(res.Policies) != len(spec.Policies) {
+		t.Fatalf("policies = %d, want %d", len(res.Policies), len(spec.Policies))
+	}
+	for _, pr := range res.Policies {
+		if pr.FinalBenefit.Count != int64(spec.Networks*spec.Runs) {
+			t.Errorf("%s: final count %d", pr.Policy, pr.FinalBenefit.Count)
+		}
+	}
+	// The status endpoint agrees.
+	st := coord.Status()
+	if !st.Done || st.Committed != spec.Networks*spec.Runs {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestAbandonedLeaseReassigned pins straggler recovery: a worker that
+// leases a range and dies silently must lose it after the TTL, and the
+// range must reassign to the next worker.
+func TestAbandonedLeaseReassigned(t *testing.T) {
+	spec := testSpec()
+	reg := obs.New()
+	coord, srv := newTestCoordinator(t, spec, 3, 80*time.Millisecond, reg)
+
+	// The doomed worker takes a lease and vanishes without uploading.
+	lease, done := coord.Lease("doomed")
+	if done || lease == nil {
+		t.Fatalf("lease = %v, done = %v", lease, done)
+	}
+
+	// A live worker drains the whole grid; it must eventually receive the
+	// abandoned range once the lease expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	w := &Worker{Coordinator: srv.URL, ID: "live", PollInterval: 20 * time.Millisecond, Logf: t.Logf}
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("grid not done after live worker drained it")
+	}
+	if got := counterValue(reg, "dist.ranges_reassigned"); got < 1 {
+		t.Errorf("ranges_reassigned = %d, want >= 1", got)
+	}
+	if got := counterValue(reg, "dist.leases_expired"); got < 1 {
+		t.Errorf("leases_expired = %d, want >= 1", got)
+	}
+}
+
+// TestDuplicateCommitRace pins exactly-once aggregation when two workers
+// upload the same cells concurrently (the lease-expiry race: a straggler
+// finishes just as its reassigned replacement does). Runs under -race in
+// CI; the assertions are scheduling-independent: however the two uploads
+// interleave, each cell aggregates exactly once and the loser is counted
+// as a duplicate.
+func TestDuplicateCommitRace(t *testing.T) {
+	spec := testSpec()
+	wantDigest, wantRecords := localReference(t, spec)
+	reg := obs.New()
+	_, srv := newTestCoordinator(t, spec, spec.Networks*spec.Runs, time.Minute, reg)
+
+	// Compute every cell's records once, locally, to use as both upload
+	// payloads.
+	protocol, factories, err := spec.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := make(map[sim.CellKey][]sim.Record)
+	if err := sim.Run(context.Background(), protocol, factories, func(rec sim.Record) {
+		key := sim.CellKey{Network: rec.Network, Run: rec.Run}
+		byCell[key] = append(byCell[key], rec)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for key, recs := range byCell {
+		if err := enc.Encode(sim.CellLine{CellKey: key, Records: recs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	upload := func(worker string) (UploadResponse, error) {
+		resp, err := http.Post(srv.URL+"/api/v1/dist/cells?lease=r0-a1&worker="+worker,
+			"application/jsonl", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			return UploadResponse{}, err
+		}
+		defer resp.Body.Close()
+		var ur UploadResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+			return UploadResponse{}, err
+		}
+		return ur, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]UploadResponse, 2)
+	uploadErrs := make([]error, 2)
+	for i, worker := range []string{"racer_a", "racer_b"} {
+		wg.Add(1)
+		go func(i int, worker string) {
+			defer wg.Done()
+			results[i], uploadErrs[i] = upload(worker)
+		}(i, worker)
+	}
+	wg.Wait()
+	for i, err := range uploadErrs {
+		if err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+	}
+
+	cells := spec.Networks * spec.Runs
+	gotAccepted := results[0].Accepted + results[1].Accepted
+	gotDuplicate := results[0].Duplicate + results[1].Duplicate
+	if gotAccepted != cells {
+		t.Errorf("accepted %d cells across both uploads, want exactly %d", gotAccepted, cells)
+	}
+	if gotDuplicate != cells {
+		t.Errorf("duplicate %d cells across both uploads, want %d", gotDuplicate, cells)
+	}
+	if got := counterValue(reg, "dist.cells_duplicate"); got != int64(cells) {
+		t.Errorf("dist.cells_duplicate = %d, want %d", got, cells)
+	}
+
+	// Exactly-once aggregation: the result matches the local reference
+	// even though every cell was uploaded twice.
+	var res serv.Result
+	hres, err := http.Get(srv.URL + "/api/v1/dist/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	if err := json.NewDecoder(hres.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != wantDigest {
+		t.Errorf("digest %s, want %s", res.Digest, wantDigest)
+	}
+	if res.Records != wantRecords {
+		t.Errorf("records %d, want %d (exactly-once violated)", res.Records, wantRecords)
+	}
+}
+
+// TestChaosStallDigestStable runs a worker whose generator randomly
+// stalls (Stall-only chaos: injected failures with retries would
+// legitimately change retried cells' records via the retry seed split)
+// and checks the digest still matches the local reference.
+func TestChaosStallDigestStable(t *testing.T) {
+	spec := testSpec()
+	wantDigest, _ := localReference(t, spec)
+	coord, srv := newTestCoordinator(t, spec, 2, 30*time.Second, obs.New())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	w := &Worker{
+		Coordinator:  srv.URL,
+		ID:           "chaotic",
+		PollInterval: 10 * time.Millisecond,
+		Logf:         t.Logf,
+		Mutate: func(p *sim.Protocol) {
+			p.Gen = fault.Generator{Inner: p.Gen, Rates: fault.Rates{Stall: 0.5, StallFor: 5 * time.Millisecond}}
+		},
+	}
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != wantDigest {
+		t.Errorf("chaos digest %s, want %s", res.Digest, wantDigest)
+	}
+}
+
+// TestCoordinatorResume kills a coordinator after a partial upload and
+// resumes from its journal: only the missing cells are handed out, and
+// the final digest matches the local reference.
+func TestCoordinatorResume(t *testing.T) {
+	spec := testSpec()
+	wantDigest, wantRecords := localReference(t, spec)
+	dir := t.TempDir()
+
+	coord, err := New(Config{Spec: spec, Dir: dir, RangeSize: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upload the first three cells directly, then "crash".
+	protocol, factories, err := spec.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := make(map[sim.CellKey][]sim.Record)
+	if err := sim.Run(context.Background(), protocol, factories, func(rec sim.Record) {
+		key := sim.CellKey{Network: rec.Network, Run: rec.Run}
+		byCell[key] = append(byCell[key], rec)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var partial []sim.CellLine
+	for _, key := range []sim.CellKey{{Network: 0, Run: 0}, {Network: 0, Run: 2}, {Network: 1, Run: 1}} {
+		partial = append(partial, sim.CellLine{CellKey: key, Records: byCell[key]})
+	}
+	if _, err := coord.Upload("r0-a1", "w1", partial); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: three cells are already durable, three remain.
+	coord2, err := New(Config{Spec: spec, Dir: dir, Resume: true, RangeSize: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord2.Handler())
+	defer srv.Close()
+	defer coord2.Close()
+	if st := coord2.Status(); st.Committed != 3 {
+		t.Fatalf("resumed with %d committed cells, want 3", st.Committed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	w := &Worker{Coordinator: srv.URL, ID: "finisher", PollInterval: 10 * time.Millisecond, Logf: t.Logf}
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != wantDigest {
+		t.Errorf("resumed digest %s, want %s", res.Digest, wantDigest)
+	}
+	if res.Records != wantRecords {
+		t.Errorf("resumed records %d, want %d", res.Records, wantRecords)
+	}
+}
+
+// TestWorkerFailReleasesLease pins the fast path around the TTL: a
+// worker that reports a range failure releases the lease immediately so
+// another worker picks it up without waiting for expiry.
+func TestWorkerFailReleasesLease(t *testing.T) {
+	spec := testSpec()
+	coord, _ := newTestCoordinator(t, spec, 3, time.Hour, obs.New())
+
+	lease, done := coord.Lease("flaky")
+	if done || lease == nil {
+		t.Fatalf("lease = %v, done = %v", lease, done)
+	}
+	// With an hour-long TTL nothing would expire; the explicit fail must
+	// release it.
+	coord.Fail(FailRequest{Worker: "flaky", Lease: lease.ID, Error: "injected"})
+	lease2, done := coord.Lease("other")
+	if done || lease2 == nil {
+		t.Fatalf("lease after fail = %v, done = %v", lease2, done)
+	}
+	if lease2.Start != lease.Start || lease2.End != lease.End {
+		t.Errorf("reassigned range [%d,%d), want [%d,%d)", lease2.Start, lease2.End, lease.Start, lease.End)
+	}
+}

@@ -1,0 +1,238 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/accu-sim/accu/internal/obs"
+	"github.com/accu-sim/accu/internal/serv"
+	"github.com/accu-sim/accu/internal/sim"
+)
+
+// Worker executes leased cell ranges against a coordinator. It fetches
+// the grid spec once, then loops: lease a range, run the unmodified
+// engine restricted to that range, and stream each completed cell back
+// as one JSONL upload. A cell only counts as committed once the
+// coordinator acks it durable — an upload failure aborts the range (the
+// engine treats a Checkpointer.Commit error as fatal), the worker
+// reports the lease failed, and the range reassigns.
+type Worker struct {
+	// Coordinator is the base URL, e.g. "http://127.0.0.1:9090".
+	Coordinator string
+	// ID names this worker in leases and metrics (required).
+	ID string
+	// Client is the HTTP client (nil uses http.DefaultClient).
+	Client *http.Client
+	// PollInterval spaces lease retries when every range is taken and
+	// transient-error retries (default 500ms).
+	PollInterval time.Duration
+	// Throttle sleeps before each cell commit — a test/e2e knob to slow
+	// a worker down so stragglers and mid-range kills are reproducible.
+	Throttle time.Duration
+	// MaxRetries bounds consecutive transient network failures before
+	// Run gives up (default 5).
+	MaxRetries int
+	// Metrics receives engine instrumentation for this worker (optional).
+	Metrics *obs.Registry
+	// Logf logs worker events (nil disables).
+	Logf func(format string, args ...any)
+	// Mutate, when non-nil, adjusts the built protocol before each range
+	// runs — the chaos-injection hook (wrap Gen/Setup in fault wrappers).
+	Mutate func(p *sim.Protocol)
+}
+
+// Run executes ranges until the coordinator reports the grid done (nil),
+// the context is canceled, or the coordinator stays unreachable past
+// MaxRetries consecutive attempts.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.ID == "" {
+		return fmt.Errorf("dist: worker without ID")
+	}
+	logf := w.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	poll := w.PollInterval
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	maxRetries := w.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 5
+	}
+
+	var spec serv.Spec
+	if err := w.getJSON(ctx, "/api/v1/dist/spec", &spec); err != nil {
+		return fmt.Errorf("dist: fetch spec: %w", err)
+	}
+	protocol, factories, err := spec.Build(w.Metrics)
+	if err != nil {
+		return fmt.Errorf("dist: build spec: %w", err)
+	}
+
+	transient := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var resp LeaseResponse
+		err := w.postJSON(ctx, "/api/v1/dist/lease", LeaseRequest{Worker: w.ID}, &resp)
+		if err != nil {
+			var uerr *url.Error
+			if transient++; errors.As(err, &uerr) && transient <= maxRetries {
+				logf("dist: worker %s: coordinator unreachable (%d/%d): %v", w.ID, transient, maxRetries, err)
+				if !sleepCtx(ctx, poll) {
+					return ctx.Err()
+				}
+				continue
+			}
+			return fmt.Errorf("dist: lease: %w", err)
+		}
+		transient = 0
+		if resp.Done {
+			logf("dist: worker %s: grid complete", w.ID)
+			return nil
+		}
+		if resp.Lease == nil {
+			if !sleepCtx(ctx, poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		lease := resp.Lease
+		logf("dist: worker %s: leased [%d,%d) as %s", w.ID, lease.Start, lease.End, lease.ID)
+		if err := w.runRange(ctx, protocol, factories, lease); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			logf("dist: worker %s: range [%d,%d) failed: %v", w.ID, lease.Start, lease.End, err)
+			// Best effort: release the lease so the range reassigns now.
+			_ = w.postJSON(ctx, "/api/v1/dist/fail", FailRequest{
+				Worker: w.ID, Lease: lease.ID, Error: err.Error(),
+			}, &struct{}{})
+			if !sleepCtx(ctx, poll) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// runRange executes one leased range with the stock engine: the
+// range-restricted checkpointer marks everything outside [Start, End) as
+// already done, so the engine schedules only the leased cells, and each
+// completed cell uploads (and must be acked durable) before the engine
+// moves on.
+func (w *Worker) runRange(ctx context.Context, protocol sim.Protocol, factories []sim.PolicyFactory, lease *Lease) error {
+	p := protocol // per-range copy; Checkpoint and hooks are range-local
+	p.Checkpoint = &rangeCheckpointer{w: w, ctx: ctx, lease: lease, runs: p.Runs}
+	if w.Mutate != nil {
+		w.Mutate(&p)
+	}
+	// Aggregation happens coordinator-side; records are delivered there
+	// through the checkpointer's uploads.
+	return sim.Run(ctx, p, factories, func(sim.Record) {})
+}
+
+// rangeCheckpointer restricts the engine to one leased range and streams
+// commits to the coordinator. Done claims every out-of-range cell is
+// already recorded (the engine then skips it); Commit uploads the cell
+// and fails unless the coordinator acks it durable.
+type rangeCheckpointer struct {
+	w     *Worker
+	ctx   context.Context
+	lease *Lease
+	runs  int
+}
+
+func (rc *rangeCheckpointer) Done(key sim.CellKey) bool {
+	ci := indexOf(key, rc.runs)
+	return ci < rc.lease.Start || ci >= rc.lease.End
+}
+
+func (rc *rangeCheckpointer) Commit(key sim.CellKey, recs []sim.Record) error {
+	if rc.w.Throttle > 0 {
+		if !sleepCtx(rc.ctx, rc.w.Throttle) {
+			return rc.ctx.Err()
+		}
+	}
+	line, err := json.Marshal(sim.CellLine{CellKey: key, Records: recs})
+	if err != nil {
+		return fmt.Errorf("marshal cell: %w", err)
+	}
+	line = append(line, '\n')
+	q := url.Values{"lease": {rc.lease.ID}, "worker": {rc.w.ID}}
+	var resp UploadResponse
+	if err := rc.w.post(rc.ctx, "/api/v1/dist/cells?"+q.Encode(), "application/jsonl", bytes.NewReader(line), &resp); err != nil {
+		return fmt.Errorf("upload cell (%d,%d): %w", key.Network, key.Run, err)
+	}
+	return nil
+}
+
+// --- HTTP plumbing ---
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Coordinator+path, nil)
+	if err != nil {
+		return err
+	}
+	return w.do(req, out)
+}
+
+func (w *Worker) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return w.post(ctx, path, "application/json", bytes.NewReader(body), out)
+}
+
+func (w *Worker) post(ctx context.Context, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return w.do(req, out)
+}
+
+func (w *Worker) do(req *http.Request, out any) error {
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, eb.Error)
+		}
+		return fmt.Errorf("%s %s: %s", req.Method, req.URL.Path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx sleeps d or until ctx is done; false means canceled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -65,13 +65,14 @@ func (s *Server) executeJob(ctx context.Context, e *entry) (*Result, error) {
 	err = sim.Run(ctx, protocol, factories, collect)
 	cerr := journal.Close()
 
-	res := &Result{Records: records}
+	var failedCells int
+	var warning string
 	var fsum *sim.FailureSummary
 	if errors.As(err, &fsum) {
 		// Degraded but complete (ContinueOnError): the surviving cells
 		// are a valid, durable result; the failures ride along.
-		res.FailedCells = len(fsum.Failures)
-		res.Warning = fsum.Error()
+		failedCells = len(fsum.Failures)
+		warning = fsum.Error()
 		err = nil
 	}
 	if err != nil {
@@ -80,13 +81,8 @@ func (s *Server) executeJob(ctx context.Context, e *entry) (*Result, error) {
 	if cerr != nil {
 		return nil, fmt.Errorf("serv: close checkpoint journal: %w", cerr)
 	}
-	res.Digest = digest.Sum()
-	for _, policy := range summary.Policies() {
-		res.Policies = append(res.Policies, PolicyResult{
-			Policy:          policy,
-			FinalBenefit:    summary.FinalBenefit(policy).Snapshot(),
-			CautiousFriends: summary.CautiousFriends(policy).Snapshot(),
-		})
-	}
+	res := BuildResult(records, digest, summary)
+	res.FailedCells = failedCells
+	res.Warning = warning
 	return res, nil
 }

@@ -25,30 +25,50 @@ type CellKey struct {
 // run even under ContinueOnError — records that cannot be made durable
 // would silently re-run on resume.
 type Checkpointer interface {
-	// Done reports whether the cell is already durably recorded.
+	// Done reports whether the cell is already recorded.
 	Done(key CellKey) bool
-	// Commit durably records one completed cell with its records.
+	// Commit records one completed cell with its records. Each
+	// implementation defines its own durability point: CellJournal
+	// reaches stable storage at Sync/Close (or per commit under
+	// SyncEvery); a distributed checkpointer may not ack until a remote
+	// store has fsynced.
 	Commit(key CellKey, recs []Record) error
 }
 
-// cellLine is one journal line: a completed cell with its records.
-type cellLine struct {
+// CellLine is one cell-journal line: a completed cell with its records.
+// It is the wire format shared by CellJournal's on-disk JSONL and the
+// internal/dist cell-upload stream, so a journal file and a worker
+// upload body are interchangeable line for line.
+type CellLine struct {
 	CellKey
 	Records []Record `json:"records"`
 }
 
 // CellJournal is the append-only JSONL Checkpointer: one line per
-// completed cell, written in full before the cell is considered durable.
-// A torn trailing line (crash mid-append) is truncated away on resume,
-// so the journal is always re-appendable. Because every cell reseeds
-// from its (network, run) coordinates alone, the union of a journal's
-// replayed records and a resumed Run's records is bit-identical to an
-// uninterrupted run at any worker count.
+// completed cell, written in full before the cell is considered
+// committed. A torn trailing line (crash mid-append) is truncated away
+// on resume, so the journal is always re-appendable. Because every cell
+// reseeds from its (network, run) coordinates alone, the union of a
+// journal's replayed records and a resumed Run's records is
+// bit-identical to an uninterrupted run at any worker count.
+//
+// Durability: Commit appends with a single write but does not fsync by
+// default — a cell is only guaranteed to survive power loss after Sync
+// or Close. Callers that ack commits to another party (the internal/dist
+// coordinator acking a worker's upload, for example) must either enable
+// SyncEvery or call Sync before acking, or an acked cell can vanish.
 type CellJournal struct {
 	mu    sync.Mutex
 	f     *os.File
 	done  map[CellKey]bool
-	lines []cellLine // cells loaded at resume, in journal order (for Replay)
+	lines []CellLine // cells loaded at resume, in journal order (for Replay)
+	// syncEvery > 0 fsyncs after every syncEvery-th newly committed
+	// cell; sinceSync counts commits since the last fsync.
+	syncEvery int
+	sinceSync int
+	// dropped counts valid cells discarded by load's truncate-forward
+	// corruption recovery (everything after the first corrupt line).
+	dropped int
 }
 
 var _ Checkpointer = (*CellJournal)(nil)
@@ -83,7 +103,9 @@ func OpenCellJournal(path string, resume bool) (*CellJournal, error) {
 // load parses the journal's existing lines and positions the file for
 // appending. Parsing stops at the first torn or corrupt line, which is
 // truncated away together with everything after it — those cells simply
-// re-run.
+// re-run. Valid cells discarded behind a corrupt line are counted in
+// Dropped so callers can surface the loss instead of silently paying the
+// recomputation.
 func (j *CellJournal) load() error {
 	data, err := io.ReadAll(j.f)
 	if err != nil {
@@ -97,9 +119,12 @@ func (j *CellJournal) load() error {
 		}
 		line := data[off : off+nl]
 		if len(bytes.TrimSpace(line)) > 0 {
-			var cl cellLine
+			var cl CellLine
 			if err := json.Unmarshal(line, &cl); err != nil {
-				break // corrupt line: drop it and everything after
+				// Corrupt line: truncate it and everything after, but
+				// count the valid cells the truncation throws away.
+				j.dropped = countValidCells(data[off+nl+1:], j.done)
+				break
 			}
 			if !j.done[cl.CellKey] {
 				j.done[cl.CellKey] = true
@@ -117,6 +142,53 @@ func (j *CellJournal) load() error {
 	return err
 }
 
+// countValidCells counts the parseable, non-duplicate cells in the
+// journal region behind the first corrupt line — the valid work the
+// truncate-forward recovery is about to discard. A torn trailing line is
+// not counted: it is the normal crash artifact, not lost work.
+func countValidCells(data []byte, done map[CellKey]bool) int {
+	dropped := 0
+	seen := make(map[CellKey]bool)
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := data[off : off+nl]
+		if len(bytes.TrimSpace(line)) > 0 {
+			var cl CellLine
+			if err := json.Unmarshal(line, &cl); err == nil && !done[cl.CellKey] && !seen[cl.CellKey] {
+				seen[cl.CellKey] = true
+				dropped++
+			}
+		}
+		off += nl + 1
+	}
+	return dropped
+}
+
+// Dropped returns the number of valid cells load discarded behind the
+// first corrupt line (0 on a clean journal). Those cells re-run on
+// resume; callers should surface the count so a corrupted journal never
+// silently costs recomputation.
+func (j *CellJournal) Dropped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// SyncEvery makes Commit fsync after every n-th newly committed cell
+// (n == 1 syncs every commit; n <= 0 restores the default of syncing
+// only at Sync/Close). Use it on any journal whose commits are acked to
+// another party — the internal/dist coordinator acks worker uploads only
+// after the cells are on stable storage, so "first durable commit wins"
+// is literal.
+func (j *CellJournal) SyncEvery(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.syncEvery = n
+}
+
 // Done implements Checkpointer.
 func (j *CellJournal) Done(key CellKey) bool {
 	j.mu.Lock()
@@ -125,10 +197,10 @@ func (j *CellJournal) Done(key CellKey) bool {
 }
 
 // Commit implements Checkpointer: the cell is appended as one JSONL line
-// in a single write. Committed records are not retained in memory — only
-// resumed cells are, for Replay.
+// in a single write, fsynced per SyncEvery. Committed records are not
+// retained in memory — only resumed cells are, for Replay.
 func (j *CellJournal) Commit(key CellKey, recs []Record) error {
-	line, err := json.Marshal(cellLine{CellKey: key, Records: recs})
+	line, err := json.Marshal(CellLine{CellKey: key, Records: recs})
 	if err != nil {
 		return fmt.Errorf("marshal cell: %w", err)
 	}
@@ -142,6 +214,13 @@ func (j *CellJournal) Commit(key CellKey, recs []Record) error {
 		return fmt.Errorf("append cell: %w", err)
 	}
 	j.done[key] = true
+	j.sinceSync++
+	if j.syncEvery > 0 && j.sinceSync >= j.syncEvery {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("sync cell: %w", err)
+		}
+		j.sinceSync = 0
+	}
 	return nil
 }
 
@@ -173,6 +252,7 @@ func (j *CellJournal) Replay(collect func(Record)) {
 func (j *CellJournal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.sinceSync = 0
 	return j.f.Sync()
 }
 

@@ -44,7 +44,7 @@ func TestCellJournalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	committed := []cellLine{
+	committed := []CellLine{
 		{CellKey: CellKey{Network: 0, Run: 0}, Records: []Record{{Policy: "a", Network: 0, Run: 0, Result: &core.Result{Benefit: 1}}}},
 		{CellKey: CellKey{Network: 1, Run: 2}, Records: []Record{{Policy: "a", Network: 1, Run: 2, Result: &core.Result{Benefit: 7}}}},
 	}
@@ -162,7 +162,7 @@ func TestCellJournalTruncatesTornTail(t *testing.T) {
 		t.Fatalf("journal has %d lines, want 3:\n%s", len(lines), data)
 	}
 	for _, line := range lines {
-		var cl cellLine
+		var cl CellLine
 		if err := json.Unmarshal(line, &cl); err != nil {
 			t.Errorf("unparseable line after truncate+append: %q", line)
 		}
@@ -171,8 +171,8 @@ func TestCellJournalTruncatesTornTail(t *testing.T) {
 
 func TestCellJournalDropsCorruptLineAndTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cells.jsonl")
-	good, _ := json.Marshal(cellLine{CellKey: CellKey{Network: 0, Run: 0}})
-	after, _ := json.Marshal(cellLine{CellKey: CellKey{Network: 0, Run: 1}})
+	good, _ := json.Marshal(CellLine{CellKey: CellKey{Network: 0, Run: 0}})
+	after, _ := json.Marshal(CellLine{CellKey: CellKey{Network: 0, Run: 1}})
 	content := append(append(append(append(good, '\n'), []byte("{corrupt}\n")...), after...), '\n')
 	if err := os.WriteFile(path, content, 0o644); err != nil {
 		t.Fatal(err)
@@ -187,6 +187,100 @@ func TestCellJournalDropsCorruptLineAndTail(t *testing.T) {
 	if r.Cells() != 1 || !r.Done(CellKey{Network: 0, Run: 0}) || r.Done(CellKey{Network: 0, Run: 1}) {
 		t.Errorf("Cells() = %d, done(0,0)=%v done(0,1)=%v; want only the prefix cell",
 			r.Cells(), r.Done(CellKey{Network: 0, Run: 0}), r.Done(CellKey{Network: 0, Run: 1}))
+	}
+	// The discarded-but-valid cell behind the corrupt line is counted, not
+	// silently re-run.
+	if got := r.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d, want 1", got)
+	}
+}
+
+// TestCellJournalCountsDroppedCells pins the corrupt-middle-line
+// accounting: truncate-forward recovery keeps its semantics (everything
+// from the corrupt line on is dropped) but the valid cells it discards
+// are counted — deduplicated, and excluding both the corrupt line itself
+// and a torn trailing line.
+func TestCellJournalCountsDroppedCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	line := func(network, run int) []byte {
+		b, err := json.Marshal(CellLine{CellKey: CellKey{Network: network, Run: run}, Records: []Record{{Policy: "a", Network: network, Run: run}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(b, '\n')
+	}
+	var content []byte
+	content = append(content, line(0, 0)...)
+	content = append(content, line(0, 1)...)
+	content = append(content, []byte("{corrupt}\n")...)
+	content = append(content, line(0, 2)...)
+	content = append(content, line(0, 3)...)
+	content = append(content, line(0, 1)...)  // duplicate of a kept cell: not lost work
+	content = append(content, line(0, 3)...)  // duplicate of a dropped cell: counted once
+	content = append(content, []byte(`{"network":0,"run":4,"rec`)...) // torn tail: not counted
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenCellJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Cells(); got != 2 {
+		t.Errorf("Cells() = %d, want the 2 cells before the corrupt line", got)
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Errorf("Dropped() = %d, want 2 (cells (0,2) and (0,3), deduped, torn tail excluded)", got)
+	}
+	// The journal is truncated at the corrupt line and re-appendable: the
+	// dropped cells can simply be committed again.
+	if err := r.Commit(CellKey{Network: 0, Run: 2}, []Record{{Policy: "a", Network: 0, Run: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Cells() != 3 {
+		t.Errorf("Cells() = %d after recommitting a dropped cell, want 3", r.Cells())
+	}
+}
+
+// TestCellJournalSyncEvery exercises the sync-on-commit path: with
+// SyncEvery(1) every commit fsyncs (observable only as "still correct"),
+// duplicates do not reset the cadence, and the journal round-trips.
+func TestCellJournalSyncEvery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	j, err := OpenCellJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SyncEvery(1)
+	for run := 0; run < 3; run++ {
+		if err := j.Commit(CellKey{Network: 0, Run: run}, []Record{{Policy: "a", Network: 0, Run: run}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate commit: no write, no sync, no error.
+	if err := j.Commit(CellKey{Network: 0, Run: 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Without Close, the cells must already be durable on disk: reopening
+	// the raw file sees every committed line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(data, []byte("\n")); got != 3 {
+		t.Errorf("journal holds %d lines before Close, want 3", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenCellJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Cells() != 3 || r.Dropped() != 0 {
+		t.Errorf("Cells() = %d Dropped() = %d, want 3 and 0", r.Cells(), r.Dropped())
 	}
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"github.com/accu-sim/accu/internal/core"
 	"github.com/accu-sim/accu/internal/stats"
 )
@@ -61,6 +63,47 @@ func benefitAtStep(steps []core.Step, c int) float64 {
 		c = len(steps)
 	}
 	return steps[c-1].BenefitAfter
+}
+
+// Merge folds another summary into this one — the distributed/parallel
+// reduction used by the internal/dist coordinator, where each upload
+// batch aggregates into a partial summary before merging into the
+// master. Accumulators merge through the stats merge machinery
+// (stats.Welford.Merge, stats.Series.Merge), so benefit-curve axis
+// mismatches fail loudly with stats.ErrMismatchedAxes instead of
+// misattributing observations. Policies the receiver has not seen are
+// adopted in the other side's first-seen order; their curves are built
+// from the receiver's own checkpoints, so both sides must agree on
+// curve presence and axes. The other summary is not modified; on error
+// the receiver may have partially merged.
+func (s *Summary) Merge(o *Summary) error {
+	for _, p := range o.order {
+		if _, ok := s.final[p]; !ok {
+			s.order = append(s.order, p)
+			s.final[p] = &stats.Welford{}
+			s.cautious[p] = &stats.Welford{}
+			if len(s.checkpoints) > 0 {
+				xs := make([]float64, len(s.checkpoints))
+				for i, c := range s.checkpoints {
+					xs[i] = float64(c)
+				}
+				s.curves[p] = stats.NewSeries(p, xs)
+			}
+		}
+		s.final[p].Merge(*o.final[p])
+		s.cautious[p].Merge(*o.cautious[p])
+		oc, sc := o.curves[p], s.curves[p]
+		switch {
+		case oc == nil && sc == nil:
+		case oc != nil && sc != nil:
+			if err := sc.Merge(oc); err != nil {
+				return fmt.Errorf("sim: merge summary policy %s: %w", p, err)
+			}
+		default:
+			return fmt.Errorf("sim: merge summary policy %s: benefit curve present on one side only", p)
+		}
+	}
+	return nil
 }
 
 // Policies returns the policy names in first-seen order.

@@ -122,13 +122,18 @@ func (s *Series) Merge(o *Series) error {
 	return nil
 }
 
-// matchAxis verifies two axes cover the same positions.
+// matchAxis verifies two axes cover the same positions. Positions are
+// compared by bit pattern, not by ==: NaN != NaN under IEEE comparison,
+// so two series with identical axes containing a NaN position (an
+// undefined parameter slot in a sweep, say) could otherwise never merge.
+// Bit equality also keeps the check strict — -0 and +0 are different
+// positions, as are distinct NaN payloads.
 func matchAxis(name string, a, b []float64) error {
 	if len(a) != len(b) {
 		return fmt.Errorf("%s axis length %d vs %d", name, len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			return fmt.Errorf("%s axis position %d: %v vs %v", name, i, a[i], b[i])
 		}
 	}

@@ -161,6 +161,44 @@ func TestSeriesMergeMismatch(t *testing.T) {
 	}
 }
 
+// TestMergeNaNAxes is the regression test for the NaN merge bug:
+// matchAxis compared positions with !=, so two series (or grids) with
+// identical axes containing a NaN position could never merge — NaN !=
+// NaN under IEEE comparison. Identical-bits NaN positions must merge;
+// a NaN against a real number must still mismatch.
+func TestMergeNaNAxes(t *testing.T) {
+	nan := math.NaN()
+	a := NewSeries("a", []float64{1, nan, 3})
+	b := NewSeries("b", []float64{1, nan, 3})
+	a.Add(1, 2)
+	b.Add(1, 4)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("identical NaN axes refused to merge: %v", err)
+	}
+	if a.At(1).Mean() != 3 || a.At(1).Count() != 2 {
+		t.Errorf("merged NaN position: mean = %v count = %d, want 3 and 2", a.At(1).Mean(), a.At(1).Count())
+	}
+	// NaN vs a real position is still a mismatch, in both orders.
+	c := NewSeries("c", []float64{1, 2, 3})
+	if err := a.Merge(c); !errors.Is(err, ErrMismatchedAxes) {
+		t.Errorf("NaN vs 2: err = %v, want ErrMismatchedAxes", err)
+	}
+	if err := c.Merge(a); !errors.Is(err, ErrMismatchedAxes) {
+		t.Errorf("2 vs NaN: err = %v, want ErrMismatchedAxes", err)
+	}
+
+	ga := NewGrid("r", []float64{nan}, "c", []float64{1, nan})
+	gb := NewGrid("r", []float64{nan}, "c", []float64{1, nan})
+	ga.Add(0, 1, 10)
+	gb.Add(0, 1, 20)
+	if err := ga.Merge(gb); err != nil {
+		t.Fatalf("identical NaN grid axes refused to merge: %v", err)
+	}
+	if ga.At(0, 1).Mean() != 15 {
+		t.Errorf("merged NaN grid cell = %v, want 15", ga.At(0, 1).Mean())
+	}
+}
+
 func TestGrid(t *testing.T) {
 	g := NewGrid("theta", []float64{0.1, 0.2}, "benefit", []float64{20, 50, 100})
 	g.Add(0, 2, 7)
