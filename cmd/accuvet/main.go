@@ -1,9 +1,11 @@
-// Command accuvet is the project's static-analysis suite: nine analyzers
-// that turn the simulator's determinism and concurrency invariants into
-// compile-time properties. Wave 1 (detrand, maporder, seedflow,
-// metricname) guards the deterministic record path; wave 2 (lockbalance,
-// atomicmix, ctxcancel, scratchescape, errcmp) checks the parallel
-// engine's concurrency discipline with a CFG/dataflow engine. See
+// Command accuvet is the project's static-analysis suite: fourteen
+// analyzers that turn the simulator's determinism and concurrency
+// invariants into compile-time properties. Wave 1 (detrand, maporder,
+// seedflow, metricname) guards the deterministic record path; wave 2
+// (lockbalance, atomicmix, ctxcancel, scratchescape, errcmp) checks the
+// parallel engine's concurrency discipline with a CFG/dataflow engine;
+// wave 3 (httpbody, respwrite, lockedio, ctxflow, timerleak) audits the
+// service layer interprocedurally over a package-local call graph. See
 // DESIGN.md "Determinism invariants & static enforcement".
 //
 // It runs in two modes:
@@ -22,6 +24,11 @@
 // directive already covers, marked "allowed") together with the
 // suppression comment that would silence it — the triage surface for
 // working through a wave of new findings.
+//
+// -sarif writes the findings as a SARIF 2.1.0 log (standalone mode; in
+// vettool mode set ACCUVET_SARIF_DIR to collect one log per unit).
+// -baseline subtracts a committed snapshot of known findings so CI
+// fails only on new ones; -write-baseline refreshes that snapshot.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -53,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		listFlag    = fs.Bool("list", false, "list analyzers and exit")
 		jsonFlag    = fs.Bool("json", false, "emit findings as JSON (standalone mode)")
 		suggestFlag = fs.Bool("suggest", false, "print findings with //accu:allow suppression suggestions, including already-allowed ones (standalone mode)")
+		sarifFlag   = fs.String("sarif", "", "also write findings as a SARIF 2.1.0 log to `file` (\"-\" for stdout; standalone mode)")
+		baseFlag    = fs.String("baseline", "", "subtract the findings recorded in the baseline `file`; only new findings affect the exit code (standalone mode)")
+		writeBase   = fs.String("write-baseline", "", "snapshot current findings as a baseline to `file` and exit 0 (standalone mode)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: accuvet [packages]   (default ./...)\n")
@@ -82,10 +93,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return vetUnitMode(rest[0], stderr)
 	}
-	return standaloneMode(rest, stdout, stderr, *jsonFlag, *suggestFlag)
+	opts := standaloneOpts{
+		json:          *jsonFlag,
+		suggest:       *suggestFlag,
+		sarifPath:     *sarifFlag,
+		baselinePath:  *baseFlag,
+		writeBaseline: *writeBase,
+	}
+	return standaloneMode(rest, stdout, stderr, opts)
 }
 
 // vetUnitMode analyzes one compilation unit under the go vet protocol.
+// When ACCUVET_SARIF_DIR names a directory, each unit additionally
+// drops a SARIF log there (one file per unit, named after the config),
+// so a vettool sweep can be stitched into a CI artifact.
 func vetUnitMode(cfg string, stderr io.Writer) int {
 	diags, fset, err := analysis.VetUnit(cfg, analysis.NewSuite())
 	if err != nil {
@@ -95,13 +116,48 @@ func vetUnitMode(cfg string, stderr io.Writer) int {
 	for _, d := range diags {
 		fmt.Fprintf(stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 	}
+	if dir := os.Getenv("ACCUVET_SARIF_DIR"); dir != "" {
+		name := strings.TrimSuffix(filepath.Base(cfg), ".cfg")
+		sum := sha256.Sum256([]byte(cfg))
+		path := filepath.Join(dir, fmt.Sprintf("%s-%x.sarif", name, sum[:4]))
+		if err := writeSARIFFile(path, fset, diags); err != nil {
+			fmt.Fprintf(stderr, "accuvet: %v\n", err)
+			return 2
+		}
+	}
 	return exitCode(len(diags))
+}
+
+// writeSARIFFile writes one SARIF log to path ("-" means stdout is the
+// caller's job, so path here is always a real file).
+func writeSARIFFile(path string, fset *token.FileSet, diags []analysis.Diagnostic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteSARIF(f, fset, diags, analysis.NewSuite()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// standaloneOpts collects the output/ratchet switches of standalone
+// mode; the mutually-independent ones compose (e.g. -sarif with
+// -baseline writes the full log but gates the exit code on new
+// findings only).
+type standaloneOpts struct {
+	json          bool
+	suggest       bool
+	sarifPath     string
+	baselinePath  string
+	writeBaseline string
 }
 
 // standaloneMode loads the patterns from source and analyzes every
 // matched package with one shared suite, so cross-package invariants
 // (metricname's kind table) see the whole tree.
-func standaloneMode(patterns []string, stdout, stderr io.Writer, asJSON, suggest bool) int {
+func standaloneMode(patterns []string, stdout, stderr io.Writer, opts standaloneOpts) int {
 	pkgs, err := analysis.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "accuvet: %v\n", err)
@@ -112,7 +168,7 @@ func standaloneMode(patterns []string, stdout, stderr io.Writer, asJSON, suggest
 	var fset *token.FileSet
 	for _, pkg := range pkgs {
 		run := analysis.RunAnalyzers
-		if suggest {
+		if opts.suggest {
 			run = analysis.RunAnalyzersAll
 		}
 		diags, err := run(pkg, suite)
@@ -125,10 +181,60 @@ func standaloneMode(patterns []string, stdout, stderr io.Writer, asJSON, suggest
 	}
 	all = dedupSort(fset, all)
 
+	// The SARIF log and the baseline snapshot both describe the raw
+	// verdict; the baseline subtraction below only gates what is
+	// *reported* and the exit code.
+	if opts.sarifPath != "" {
+		w := stdout
+		var f *os.File
+		if opts.sarifPath != "-" {
+			f, err = os.Create(opts.sarifPath)
+			if err != nil {
+				fmt.Fprintf(stderr, "accuvet: %v\n", err)
+				return 2
+			}
+			w = f
+		}
+		err = analysis.WriteSARIF(w, fset, all, suite)
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "accuvet: sarif: %v\n", err)
+			return 2
+		}
+	}
+	if opts.writeBaseline != "" {
+		f, err := os.Create(opts.writeBaseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "accuvet: %v\n", err)
+			return 2
+		}
+		err = analysis.NewBaseline(fset, all).Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "accuvet: baseline: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	if opts.baselinePath != "" {
+		base, err := analysis.LoadBaseline(opts.baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "accuvet: %v\n", err)
+			return 2
+		}
+		all = base.Filter(fset, all)
+	}
+
 	switch {
-	case asJSON:
+	case opts.json:
 		return printJSON(stdout, stderr, fset, all)
-	case suggest:
+	case opts.suggest:
 		return printSuggestions(stdout, fset, all)
 	default:
 		for _, d := range all {

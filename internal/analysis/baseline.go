@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+)
+
+// Baseline ratcheting — how a new analyzer wave lands without blocking
+// CI on day one. A baseline records the findings a tree is known to
+// carry; `accuvet -baseline` subtracts them and fails only on NEW
+// findings. Entries are line-number-free on purpose: a fingerprint is
+// (file, analyzer, message, count), so reflowing a file or adding
+// imports does not invalidate the baseline, while a genuinely new
+// finding — or a second instance of a known one — still fails the
+// build. Fixing a baselined finding leaves a stale entry behind;
+// `-write-baseline` re-snapshots, and review of that diff is the
+// ratchet (counts may only go down).
+
+// BaselineEntry identifies a tolerated finding class within one file.
+// Count is how many findings with this exact (file, analyzer, message)
+// the baseline absorbs; extra instances surface as new.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the committed snapshot of tolerated findings.
+type Baseline struct {
+	// Version guards the file format; readers reject unknown versions
+	// rather than silently mis-filtering.
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+const baselineVersion = 1
+
+// NewBaseline snapshots diags (suppressed ones excluded — //accu:allow
+// already absorbs those) into a baseline keyed on repo-relative paths.
+func NewBaseline(fset *token.FileSet, diags []Diagnostic) *Baseline {
+	counts := make(map[BaselineEntry]int)
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		pos := fset.Position(d.Pos)
+		counts[BaselineEntry{File: sarifURI(pos.Filename), Analyzer: d.Analyzer, Message: d.Message}]++
+	}
+	b := &Baseline{Version: baselineVersion, Findings: make([]BaselineEntry, 0, len(counts))}
+	for e, n := range counts {
+		e.Count = n
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline — the zero state of the ratchet — not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: baselineVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Filter returns the diagnostics the baseline does not absorb: for each
+// (file, analyzer, message) key, the first Count instances are dropped
+// and the rest pass through in their original order. Suppressed
+// diagnostics pass through untouched (they never consume budget).
+func (b *Baseline) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	budget := make(map[BaselineEntry]int, len(b.Findings))
+	for _, e := range b.Findings {
+		key := e
+		key.Count = 0
+		budget[key] += e.Count
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			pos := fset.Position(d.Pos)
+			key := BaselineEntry{File: sarifURI(pos.Filename), Analyzer: d.Analyzer, Message: d.Message}
+			if budget[key] > 0 {
+				budget[key]--
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Write renders the baseline as stable, indented JSON suitable for
+// committing.
+func (b *Baseline) Write(w io.Writer) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(b)
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func baselineFixture() (*token.FileSet, []Diagnostic) {
+	fset := token.NewFileSet()
+	fa := fset.AddFile("internal/serv/a.go", -1, 1000)
+	fb := fset.AddFile("internal/dist/b.go", -1, 1000)
+	return fset, []Diagnostic{
+		// Two instances of the same finding class in one file...
+		{Pos: fa.Pos(10), Analyzer: "lockedio", Message: "blocking call under lock"},
+		{Pos: fa.Pos(500), Analyzer: "lockedio", Message: "blocking call under lock"},
+		// ...a distinct class in another file...
+		{Pos: fb.Pos(42), Analyzer: "httpbody", Message: "body never closed"},
+		// ...and a suppressed finding, which baselines must ignore.
+		{Pos: fb.Pos(700), Analyzer: "timerleak", Message: "time.Tick leaks", Suppressed: true},
+	}
+}
+
+// TestBaselineSnapshotAndFilter: a fresh snapshot absorbs exactly the
+// live findings it was taken from — same batch filters to only the
+// suppressed leftover, which never consumes baseline budget.
+func TestBaselineSnapshotAndFilter(t *testing.T) {
+	fset, diags := baselineFixture()
+	b := NewBaseline(fset, diags)
+	if len(b.Findings) != 2 {
+		t.Fatalf("baseline entries = %d, want 2 (one per finding class)", len(b.Findings))
+	}
+	for _, e := range b.Findings {
+		if e.Analyzer == "lockedio" && e.Count != 2 {
+			t.Errorf("lockedio count = %d, want 2", e.Count)
+		}
+		if e.Analyzer == "timerleak" {
+			t.Error("suppressed finding leaked into the baseline")
+		}
+	}
+	rest := b.Filter(fset, diags)
+	if len(rest) != 1 || !rest[0].Suppressed {
+		t.Fatalf("filter left %d diags, want only the suppressed one: %+v", len(rest), rest)
+	}
+}
+
+// TestBaselineCountBudget: a third instance of a twice-baselined class
+// surfaces as new; the budget is per (file, analyzer, message).
+func TestBaselineCountBudget(t *testing.T) {
+	fset, diags := baselineFixture()
+	b := NewBaseline(fset, diags)
+	fa := fset.File(diags[0].Pos)
+	extra := Diagnostic{Pos: fa.Pos(900), Analyzer: "lockedio", Message: "blocking call under lock"}
+	rest := b.Filter(fset, append(diags[:2:2], extra))
+	if len(rest) != 1 {
+		t.Fatalf("filter left %d diags, want 1 (the over-budget instance)", len(rest))
+	}
+	if pos := fset.Position(rest[0].Pos); pos.Offset != 900 {
+		// Budget consumes in order, so the surviving instance is the last.
+		t.Errorf("surviving instance at %v, want the third (offset 900)", pos)
+	}
+}
+
+// TestBaselineRoundTrip: Write then Load preserves the snapshot; a
+// missing file loads as the empty baseline; a wrong version is
+// rejected.
+func TestBaselineRoundTrip(t *testing.T) {
+	fset, diags := baselineFixture()
+	b := NewBaseline(fset, diags)
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	writeFile(t, path, buf.Bytes())
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Findings) != len(b.Findings) {
+		t.Fatalf("round-trip entries = %d, want %d", len(loaded.Findings), len(b.Findings))
+	}
+	for i := range b.Findings {
+		if loaded.Findings[i] != b.Findings[i] {
+			t.Errorf("entry %d changed in round-trip: %+v vs %+v", i, loaded.Findings[i], b.Findings[i])
+		}
+	}
+
+	empty, err := LoadBaseline(filepath.Join(dir, "missing.json"))
+	if err != nil {
+		t.Fatalf("missing baseline must load as empty, got %v", err)
+	}
+	if len(empty.Findings) != 0 {
+		t.Errorf("missing baseline loaded %d entries", len(empty.Findings))
+	}
+	if rest := empty.Filter(fset, diags); len(rest) != len(diags) {
+		t.Errorf("empty baseline absorbed findings: %d left of %d", len(rest), len(diags))
+	}
+
+	writeFile(t, path, []byte(`{"version": 99, "findings": []}`))
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("unsupported baseline version must be rejected")
+	}
+}
+
+// TestBaselineWriteEmpty: an empty snapshot serializes with an explicit
+// empty findings array (the committed zero-state file), not null.
+func TestBaselineWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Baseline{Version: baselineVersion}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"findings": []`)) {
+		t.Errorf("empty baseline = %s, want explicit empty findings array", buf.String())
+	}
+}

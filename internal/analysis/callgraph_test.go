@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+)
+
+// loadCallGraphFixture type-checks the import-free call-graph fixture
+// and builds its graph.
+func loadCallGraphFixture(t *testing.T) *analysis.CallGraph {
+	t.Helper()
+	fset := token.NewFileSet()
+	names, err := filepath.Glob("testdata/src/callgraph_sim/*.go")
+	if err != nil || len(names) == 0 {
+		t.Fatalf("fixture glob: %v (%d files)", err, len(names))
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := analysis.TypeCheck(fset, nil, "example.test/internal/sim", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.NewCallGraph(pkg.Types, pkg.Info, pkg.Files)
+}
+
+// TestCallGraphGolden pins the full edge set: direct, method, interface
+// and recursive edges with go/defer context flags, in source order.
+func TestCallGraphGolden(t *testing.T) {
+	g := loadCallGraphFixture(t)
+	want := strings.TrimLeft(`
+(*store).save -> (*store).flush [method]
+direct -> helper [direct]
+viaInterface -> (*store).save [interface]
+recurse -> recurse [direct]
+spawn -> helper [direct] go
+spawn -> helper [direct] defer
+spawn -> direct [direct]
+spawnOnly -> helper [direct] go
+`, "\n")
+	if got := g.String(); got != want {
+		t.Errorf("call graph mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCallGraphPropagateUp checks bounded witness propagation: a seeded
+// effect climbs synchronous edges (defer included), is stopped at `go`
+// edges when the filter excludes them, and terminates on recursion.
+func TestCallGraphPropagateUp(t *testing.T) {
+	g := loadCallGraphFixture(t)
+	byName := make(map[string]*types.Func)
+	for _, fn := range g.Funcs() {
+		byName[fn.Name()] = fn
+	}
+
+	seeds := map[*types.Func]string{byName["helper"]: "net.Dial"}
+	blocks := g.PropagateUp(seeds, func(e analysis.CallEdge) bool { return !e.Async })
+
+	if w := blocks[byName["direct"]]; w != "helper → net.Dial" {
+		t.Errorf("direct witness = %q, want %q", w, "helper → net.Dial")
+	}
+	if w := blocks[byName["spawn"]]; !strings.Contains(w, "net.Dial") {
+		t.Errorf("spawn should inherit through its deferred edge, got %q", w)
+	}
+	if w, ok := blocks[byName["spawnOnly"]]; ok {
+		t.Errorf("spawnOnly's only edge is async and filtered; unexpected witness %q", w)
+	}
+	if _, ok := blocks[byName["flush"]]; ok {
+		t.Error("flush does not reach helper; unexpected witness")
+	}
+
+	// Recursion terminates and self-marks through the cycle.
+	rec := g.PropagateUp(map[*types.Func]string{byName["recurse"]: "time.Sleep"}, nil)
+	if w := rec[byName["recurse"]]; w != "time.Sleep" {
+		t.Errorf("seeded recursive fn witness = %q, want its own seed", w)
+	}
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow returns the context-propagation analyzer for outbound network
+// code. Two checks:
+//
+//  1. Requests built or sent without a context: http.NewRequest (use
+//     NewRequestWithContext), the package-level http.Get/Post/PostForm/
+//     Head conveniences and their (*http.Client) method twins. A request
+//     with no context cannot be cancelled — a worker stuck in a dead
+//     coordinator's dial keeps its lease alive past expiry.
+//  2. Retry/poll loops that never consult their context: a loop that
+//     paces itself (time.Sleep, time.After, time.Tick) inside a function
+//     that has a context.Context in scope, yet mentions no context
+//     anywhere in the loop. Such a loop survives cancellation until its
+//     current backoff elapses — or forever. Mentioning any in-scope
+//     context in the loop (ctx.Done(), ctx.Err(), passing ctx to a
+//     callee) satisfies the check; the analyzer does not prove the
+//     callee looks at it, a documented soundness limit.
+func CtxFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc: "require outgoing HTTP requests to carry a context " +
+			"(NewRequestWithContext) and pacing retry/poll loops to consult " +
+			"ctx.Done()/ctx.Err() when a context is in scope",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkNoCtxRequest(pass, call)
+				return true
+			})
+		}
+		funcBodies(pass.Files, func(enclosing ast.Node, body *ast.BlockStmt) {
+			checkPollLoops(pass, enclosing, body)
+		})
+		return nil
+	}
+	return a
+}
+
+// noCtxHTTPCalls are the request conveniences — package functions and
+// *http.Client methods alike — that send without a caller context.
+var noCtxHTTPCalls = map[string]bool{"Get": true, "Post": true, "PostForm": true, "Head": true}
+
+func checkNoCtxRequest(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "net/http" {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	switch {
+	case sig.Recv() == nil && f.Name() == "NewRequest":
+		pass.Reportf(call.Pos(),
+			"http.NewRequest builds a request without a context; use http.NewRequestWithContext so the call can be cancelled")
+	case sig.Recv() == nil && noCtxHTTPCalls[f.Name()]:
+		pass.Reportf(call.Pos(),
+			"http.%s sends a request that cannot be cancelled; build it with http.NewRequestWithContext and send via a Client",
+			f.Name())
+	case sig.Recv() != nil && namedRecvName(sig.Recv().Type()) == "Client" && noCtxHTTPCalls[f.Name()]:
+		pass.Reportf(call.Pos(),
+			"(*http.Client).%s sends a request without a context; build it with http.NewRequestWithContext and use Do",
+			f.Name())
+	}
+}
+
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// checkPollLoops flags pacing loops in one function body that never
+// consult an in-scope context. Nested function literals are handled by
+// their own funcBodies visit (a captured outer context shows up there
+// through Uses).
+func checkPollLoops(pass *Pass, enclosing ast.Node, body *ast.BlockStmt) {
+	ctxObjs := make(map[types.Object]bool)
+	var ft *ast.FuncType
+	switch e := enclosing.(type) {
+	case *ast.FuncDecl:
+		ft = e.Type
+	case *ast.FuncLit:
+		ft = e.Type
+	}
+	if ft != nil && ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+					ctxObjs[obj] = true
+				}
+			}
+		}
+	}
+	walkBlockNode(body, false, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil && isContextType(obj.Type()) {
+				ctxObjs[obj] = true
+			}
+		}
+		return true
+	})
+	if len(ctxObjs) == 0 {
+		// No context reaches this function; requiring one is the
+		// caller's refactor, not this loop's bug.
+		return
+	}
+
+	walkBlockNode(body, false, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+		default:
+			return true
+		}
+		if loopPaces(pass, n) && !loopMentionsCtx(pass, n, ctxObjs) {
+			pass.Reportf(n.Pos(),
+				"this loop paces itself with a timer but never consults its context; select on ctx.Done() (or check ctx.Err()) each iteration so cancellation can stop the retry/poll loop")
+		}
+		return true
+	})
+}
+
+// pacingCalls are the time package calls that make a loop a retry/poll
+// loop.
+var pacingCalls = map[string]bool{"Sleep": true, "After": true, "Tick": true}
+
+// loopPaces reports whether the loop's own iteration (nested loops,
+// goroutines and stored literals excluded — they pace themselves) calls
+// a pacing primitive.
+func loopPaces(pass *Pass, loop ast.Node) bool {
+	paces := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if paces {
+			return false
+		}
+		if n != loop {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit, *ast.GoStmt:
+				return false
+			}
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			// Package functions only: time.Time.After is a comparison.
+			if f := calleeFunc(pass, call); f != nil && f.Pkg() != nil &&
+				f.Pkg().Path() == "time" && pacingCalls[f.Name()] && isPackageFunc(f) {
+				paces = true
+			}
+		}
+		return true
+	})
+	return paces
+}
+
+// loopMentionsCtx reports whether any in-scope context object is
+// mentioned anywhere in the loop, nested literals included (a callback
+// may be the one checking ctx).
+func loopMentionsCtx(pass *Pass, loop ast.Node, ctxObjs map[types.Object]bool) bool {
+	mentions := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if mentions {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && ctxObjs[pass.Info.Uses[id]] {
+			mentions = true
+		}
+		return true
+	})
+	return mentions
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow(), analysistest.Fixture{
+		Dir:        "testdata/src/ctxflow_serv",
+		ImportPath: "example.test/internal/serv",
+	})
+}

@@ -42,6 +42,23 @@ func factsEqual(a, b Facts) bool {
 	return true
 }
 
+// A BranchRefine sharpens facts along one conditional edge. When a
+// block with two or more successors ends in an expression (an `if` or
+// `for` condition, a switch tag, a range operand), refine is called once
+// per outgoing edge with that expression, the successor ordinal (the
+// builder orders the true/body edge first, so branch 0 means "condition
+// held" for if/for heads) and a private copy of the facts crossing the
+// edge, which it may mutate. Refiners must check the condition's shape —
+// not every multi-successor block ends in a boolean guard — and, like
+// transfer functions, must be deterministic kill-only mutations.
+//
+// The canonical use is nil-guard refinement: `resp, err := client.Do(req)`
+// followed by `if err != nil { return err }` — the error branch carries
+// no live response (Do's contract), so an analyzer tracking resp kills
+// the fact on branch 0 of the `err != nil` condition instead of falsely
+// reporting the early return as a leak.
+type BranchRefine func(cond ast.Expr, branch int, facts Facts)
+
 // ForwardMay propagates facts forward through the graph with union join
 // until fixpoint. transfer is applied to every node of a block in order
 // and mutates the fact set (add to gen, delete to kill). It must be
@@ -54,6 +71,13 @@ func factsEqual(a, b Facts) bool {
 // survive on at least one path from entry to a return (or terminal
 // call). Blocks unreachable from the entry keep empty in-sets.
 func (g *CFG) ForwardMay(transfer func(n ast.Node, facts Facts)) (in map[*Block]Facts, exit Facts) {
+	return g.ForwardMayRefined(transfer, nil)
+}
+
+// ForwardMayRefined is ForwardMay with an optional per-edge refinement:
+// facts crossing a conditional edge pass through refine before joining
+// the successor's in-set. A nil refine is exactly ForwardMay.
+func (g *CFG) ForwardMayRefined(transfer func(n ast.Node, facts Facts), refine BranchRefine) (in map[*Block]Facts, exit Facts) {
 	preds := make(map[*Block][]*Block, len(g.Blocks))
 	for _, b := range g.Blocks {
 		for _, s := range b.Succs {
@@ -68,6 +92,34 @@ func (g *CFG) ForwardMay(transfer func(n ast.Node, facts Facts)) (in map[*Block]
 		out[b] = Facts{}
 	}
 
+	// edgeFacts returns the facts flowing from p into b, applying the
+	// branch refinement when p ends in a condition with several
+	// successors. The ordinal is b's first position in p.Succs (the
+	// builder never emits duplicate conditional edges to one block with
+	// different meanings).
+	edgeFacts := func(p, b *Block) Facts {
+		if refine == nil || len(p.Succs) < 2 || len(p.Nodes) == 0 {
+			return out[p]
+		}
+		cond, ok := p.Nodes[len(p.Nodes)-1].(ast.Expr)
+		if !ok {
+			return out[p]
+		}
+		branch := -1
+		for i, s := range p.Succs {
+			if s == b {
+				branch = i
+				break
+			}
+		}
+		if branch < 0 {
+			return out[p]
+		}
+		f := out[p].clone()
+		refine(cond, branch, f)
+		return f
+	}
+
 	// Round-robin over blocks in index order (approximately reverse
 	// post-order for the structured graphs the builder emits). The
 	// sweep cap bounds a misbehaving transfer; well-formed gen/kill
@@ -78,7 +130,7 @@ func (g *CFG) ForwardMay(transfer func(n ast.Node, facts Facts)) (in map[*Block]
 		for _, b := range g.Blocks {
 			newIn := Facts{}
 			for _, p := range preds[b] {
-				for k, v := range out[p] {
+				for k, v := range edgeFacts(p, b) {
 					if _, ok := newIn[k]; !ok {
 						newIn[k] = v
 					}

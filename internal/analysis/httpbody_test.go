@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestHTTPBody(t *testing.T) {
+	analysistest.Run(t, analysis.HTTPBody(), analysistest.Fixture{
+		Dir:        "testdata/src/httpbody_serv",
+		ImportPath: "example.test/internal/serv",
+	})
+}

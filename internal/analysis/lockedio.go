@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockedIO returns the blocking-I/O-under-lock analyzer: a call that can
+// block on the outside world — file writes and fsyncs, network round
+// trips, subprocess waits, time.Sleep — must not be reachable while a
+// sync.Mutex/RWMutex is held, because every other goroutine contending
+// for that lock then waits out the I/O too (the coordinator-stall shape:
+// one slow fsync under the lease mutex freezes lease renewal for every
+// worker).
+//
+// The check is interprocedural within the package: the call graph
+// propagates a may-block summary bottom-up (a helper that calls
+// os.WriteFile blocks, so does its caller), with `go` statements excluded
+// — an async call does not block its spawner — and deferred calls
+// included. Cross-package, the analyzer recognizes a curated root set:
+// the blocking stdlib surface below plus this module's journal fsync
+// methods ((*sim.CellJournal).Commit/Sync/Close), which dist and serv
+// call under their coordinator locks by design.
+//
+// Held-lock facts reuse lockbalance's recognition over the CFG, so
+// conditional unlocks and early returns are path-accurate; a deferred
+// unlock keeps the lock held to function exit, which is exactly when
+// I/O after the Lock is worth flagging. Sites that serialize I/O under a
+// lock on purpose (fsync-before-ack durability) are the audited
+// exception: //accu:allow lockedio -- <why>.
+func LockedIO() *Analyzer {
+	a := &Analyzer{
+		Name: "lockedio",
+		Doc: "flag blocking I/O (file sync, network round trips, sleeps) " +
+			"reachable while a sync.Mutex/RWMutex is held, interprocedurally " +
+			"through the package call graph",
+	}
+	a.Run = func(pass *Pass) error {
+		cg := NewCallGraph(pass.Pkg, pass.Info, pass.Files)
+		seeds := make(map[*types.Func]string)
+		for _, fn := range cg.Funcs() {
+			if desc := intrinsicBlocking(pass, cg.DeclOf(fn)); desc != "" {
+				seeds[fn] = desc
+			}
+		}
+		blocks := cg.PropagateUp(seeds, func(e CallEdge) bool { return !e.Async })
+		funcBodies(pass.Files, func(_ ast.Node, body *ast.BlockStmt) {
+			checkLockedIO(pass, cg, blocks, body)
+		})
+		return nil
+	}
+	return a
+}
+
+// blockingFuncs is the curated set of package-level stdlib functions
+// treated as blocking I/O roots.
+var blockingFuncs = map[string]map[string]bool{
+	"os": {
+		"ReadFile": true, "WriteFile": true, "Rename": true, "Create": true,
+		"Open": true, "OpenFile": true, "Remove": true, "RemoveAll": true,
+		"Mkdir": true, "MkdirAll": true, "Truncate": true, "ReadDir": true,
+	},
+	"time":     {"Sleep": true},
+	"net":      {"Dial": true, "DialTimeout": true, "Listen": true, "LookupHost": true},
+	"net/http": {"Get": true, "Post": true, "PostForm": true, "Head": true},
+}
+
+// blockingMethods is the curated set of stdlib methods treated as
+// blocking, keyed package → receiver named type → method.
+var blockingMethods = map[string]map[string]map[string]bool{
+	"os": {"File": {
+		"Read": true, "Write": true, "WriteString": true, "Sync": true,
+		"Close": true, "Seek": true, "Truncate": true, "ReadAt": true, "WriteAt": true,
+	}},
+	"net/http": {"Client": {"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true}},
+	"os/exec":  {"Cmd": {"Run": true, "Output": true, "CombinedOutput": true, "Start": true, "Wait": true}},
+	"net":      {"Conn": {"Read": true, "Write": true, "Close": true}},
+}
+
+// journalMethods are this module's own cross-package blocking roots: the
+// checkpoint journal's fsyncing methods, recognized by receiver type so
+// dist/serv callers are covered without the sim package's ASTs.
+var journalMethods = map[string]bool{"Commit": true, "Sync": true, "Close": true}
+
+// blockingCall reports whether call invokes a blocking root, with a
+// display name for the diagnostic.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(pass, call)
+	if f == nil || f.Pkg() == nil {
+		return "", false
+	}
+	pkg := f.Pkg().Path()
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		if blockingFuncs[pkg][f.Name()] {
+			return pkg + "." + f.Name(), true
+		}
+		return "", false
+	}
+	recv := namedRecvName(sig.Recv().Type())
+	if blockingMethods[pkg][recv][f.Name()] {
+		return "(*" + pkg + "." + recv + ")." + f.Name(), true
+	}
+	if recv == "CellJournal" && pkgPathIs(pkg, "internal/sim") && journalMethods[f.Name()] {
+		return "(*sim.CellJournal)." + f.Name(), true
+	}
+	return "", false
+}
+
+// intrinsicBlocking scans one declaration body for a blocking root call,
+// pruning `go` statements (their calls run concurrently, not in this
+// activation); deferred calls and inline function literals count.
+func intrinsicBlocking(pass *Pass, decl *ast.FuncDecl) string {
+	if decl == nil || decl.Body == nil {
+		return ""
+	}
+	desc := ""
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if d, ok := blockingCall(pass, call); ok {
+				desc = d
+				return false
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// checkLockedIO runs the held-lock dataflow over one body and reports
+// every blocking call — direct root or summarized in-package callee —
+// reached with at least one lock held.
+func checkLockedIO(pass *Pass, cg *CallGraph, blocks map[*types.Func]string, body *ast.BlockStmt) {
+	cfg := NewCFG(body)
+	transfer := func(n ast.Node, facts Facts) {
+		// Deferred unlocks are pruned: they release at exit, so the lock
+		// stays held across everything after the Lock — which is the
+		// whole point of flagging I/O there. (lockbalance's deferred map
+		// is about balance, not extent.)
+		walkBlockNode(n, true, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f, op, ok := lockMethodCall(pass, call); ok {
+				if isUnlockOp(op) {
+					delete(facts, f)
+				} else {
+					facts[f] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	in, _ := cfg.ForwardMay(transfer)
+	for _, b := range cfg.Blocks {
+		facts := in[b].clone()
+		for _, n := range b.Nodes {
+			reportBlockingUnder(pass, cg, blocks, n, facts)
+			transfer(n, facts)
+		}
+	}
+}
+
+// reportBlockingUnder reports blocking calls inside one block node while
+// facts holds at least one lock. Goroutine bodies (not blocking the
+// holder), deferred calls (run at exit, usually after the paired
+// deferred unlock) and stored function literals are pruned.
+func reportBlockingUnder(pass *Pass, cg *CallGraph, blocks map[*types.Func]string, n ast.Node, facts Facts) {
+	if len(facts) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		desc, ok := blockingCall(pass, call)
+		if !ok {
+			if callee := cg.StaticCallee(pass.Info, call); callee != nil {
+				if w, has := blocks[callee]; has {
+					desc, ok = funcDisplayName(callee)+" → "+w, true
+				}
+			}
+		}
+		if !ok {
+			return true
+		}
+		// One lock names the diagnostic: the lexicographically smallest
+		// key, for deterministic output under multiple held locks.
+		var lf lockFact
+		var lpos token.Pos
+		for k, p := range facts {
+			f := k.(lockFact)
+			if lf.key == "" || f.key < lf.key {
+				lf, lpos = f, p
+			}
+		}
+		op := "Lock"
+		if lf.read {
+			op = "RLock"
+		}
+		pass.Reportf(call.Pos(),
+			"blocking call %s while %s.%s() is held (locked at line %d); release the lock around the I/O or annotate the intentional serialization",
+			desc, lf.key, op, pass.Fset.Position(lpos).Line)
+		return true
+	})
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestLockedIO(t *testing.T) {
+	analysistest.Run(t, analysis.LockedIO(), analysistest.Fixture{
+		Dir:        "testdata/src/lockedio_serv",
+		ImportPath: "example.test/internal/serv",
+		Deps: map[string]string{
+			// The stub carries sim.CellJournal so the in-module
+			// cross-package blocking root resolves without sim's ASTs.
+			"example.test/internal/sim": "testdata/src/simjournal_stub",
+		},
+	})
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RespWrite returns the response-write discipline analyzer: on any one
+// CFG path, an http.ResponseWriter's header must be committed at most
+// once. The classic bug shape is a handler that writes an error envelope
+// and falls through instead of returning — the success body then lands
+// on top of the error status and net/http logs "superfluous
+// WriteHeader". Envelope writes are traced through in-package
+// `writeJSON(w, code, v)`-style helpers via a call-graph parameter
+// summary, so the helper call itself is the tracked event.
+//
+// Events: w.WriteHeader and the http.Error/NotFound/Redirect family are
+// explicit commits; w.Write is an implicit one (it commits 200 on first
+// use). A second event on a path where the header is already committed
+// reports only when it is explicit — WriteHeader-then-many-Writes (an
+// SSE stream) is the normal shape and stays silent.
+func RespWrite() *Analyzer {
+	a := &Analyzer{
+		Name: "respwrite",
+		Doc: "flag HTTP handlers that commit a response header twice on one " +
+			"CFG path — an error envelope written and then fallen through, or " +
+			"a double WriteHeader — including through in-package helpers",
+	}
+	a.Run = func(pass *Pass) error {
+		cg := NewCallGraph(pass.Pkg, pass.Info, pass.Files)
+		writes := cg.ParamSummary(pass.Info, func(_ *types.Func, decl *ast.FuncDecl, p *types.Var) bool {
+			return paramWritesHeader(pass, decl, p)
+		}, nil)
+		funcBodies(pass.Files, func(_ ast.Node, body *ast.BlockStmt) {
+			checkRespWrites(pass, cg, writes, body)
+		})
+		return nil
+	}
+	return a
+}
+
+func isResponseWriter(t types.Type) bool {
+	return isNamed(t, "net/http", "ResponseWriter")
+}
+
+// httpHeaderHelpers are the net/http package functions that commit the
+// response header of their first argument.
+var httpHeaderHelpers = map[string]bool{
+	"Error": true, "NotFound": true, "Redirect": true, "ServeFile": true, "ServeContent": true,
+}
+
+// directWriteEvent recognizes a call that commits the response header of
+// a ResponseWriter-typed identifier without going through an in-package
+// helper: w.WriteHeader / w.Write, or http.Error(w, ...)-family.
+func directWriteEvent(pass *Pass, call *ast.CallExpr) (obj types.Object, explicit, ok bool) {
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		if sel.Sel.Name == "WriteHeader" || sel.Sel.Name == "Write" {
+			if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID {
+				if o := pass.Info.Uses[id]; o != nil && isResponseWriter(o.Type()) {
+					return o, sel.Sel.Name == "WriteHeader", true
+				}
+			}
+		}
+	}
+	if f := calleeFunc(pass, call); f != nil && f.Pkg() != nil &&
+		f.Pkg().Path() == "net/http" && httpHeaderHelpers[f.Name()] && len(call.Args) > 0 {
+		if id, isID := ast.Unparen(call.Args[0]).(*ast.Ident); isID {
+			if o := pass.Info.Uses[id]; o != nil && isResponseWriter(o.Type()) {
+				return o, true, true
+			}
+		}
+	}
+	return nil, false, false
+}
+
+// headerWriteEvent extends directWriteEvent with in-package helpers: a
+// call passing a writer to a parameter the summary marks as
+// header-writing is an explicit commit of that writer.
+func headerWriteEvent(pass *Pass, cg *CallGraph, writes map[*types.Func]map[int]bool, call *ast.CallExpr) (types.Object, bool, bool) {
+	if obj, explicit, ok := directWriteEvent(pass, call); ok {
+		return obj, explicit, ok
+	}
+	callee := cg.StaticCallee(pass.Info, call)
+	if callee == nil {
+		return nil, false, false
+	}
+	for j, arg := range call.Args {
+		if !writes[callee][j] {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if o := pass.Info.Uses[id]; o != nil && isResponseWriter(o.Type()) {
+				return o, true, true
+			}
+		}
+	}
+	return nil, false, false
+}
+
+// paramWritesHeader is the intrinsic summary: the body commits the
+// header of parameter p through a direct event.
+func paramWritesHeader(pass *Pass, decl *ast.FuncDecl, p *types.Var) bool {
+	if decl == nil || decl.Body == nil || !isResponseWriter(p.Type()) {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj, _, ok := directWriteEvent(pass, call); ok && obj == p {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkRespWrites runs the committed-header dataflow over one body. The
+// fixpoint pass records first-commit facts; a second deterministic walk
+// over each block replays the transfer with reporting enabled (the
+// engine re-runs transfers, so they must stay side-effect-free).
+func checkRespWrites(pass *Pass, cg *CallGraph, writes map[*types.Func]map[int]bool, body *ast.BlockStmt) {
+	cfg := NewCFG(body)
+	apply := func(n ast.Node, facts Facts, report bool) {
+		walkBlockNode(n, false, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj, explicit, ok := headerWriteEvent(pass, cg, writes, call)
+			if !ok {
+				return true
+			}
+			if prev, committed := facts[obj]; committed {
+				if explicit && report {
+					pass.Reportf(call.Pos(),
+						"response header already committed on this path (first written at line %d); add a return after writing the error envelope",
+						pass.Fset.Position(prev).Line)
+				}
+			} else {
+				facts[obj] = call.Pos()
+			}
+			return true
+		})
+	}
+	in, _ := cfg.ForwardMay(func(n ast.Node, facts Facts) { apply(n, facts, false) })
+	for _, b := range cfg.Blocks {
+		facts := in[b].clone()
+		for _, n := range b.Nodes {
+			apply(n, facts, true)
+		}
+	}
+}

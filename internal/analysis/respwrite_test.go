@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestRespWrite(t *testing.T) {
+	analysistest.Run(t, analysis.RespWrite(), analysistest.Fixture{
+		Dir:        "testdata/src/respwrite_serv",
+		ImportPath: "example.test/internal/serv",
+	})
+}

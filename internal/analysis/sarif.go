@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF emission — the interchange half of the wave-3 reporting story.
+// accuvet renders its findings as a SARIF 2.1.0 log so CI can archive
+// them as a reviewable artifact and code-scanning UIs can ingest them
+// without a bespoke parser. The emitter is deliberately small: one run,
+// one rule per analyzer, one result per diagnostic. Findings an
+// //accu:allow directive covers are still emitted but carry an
+// "inSource" suppression, mirroring how the text drivers report them
+// only under -suggest.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string             `json:"ruleId"`
+	RuleIndex           int                `json:"ruleIndex"`
+	Level               string             `json:"level"`
+	Message             sarifMessage       `json:"message"`
+	Locations           []sarifLocation    `json:"locations"`
+	PartialFingerprints map[string]string  `json:"partialFingerprints,omitempty"`
+	Suppressions        []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+// WriteSARIF renders diags as one SARIF 2.1.0 run. The rules table
+// lists every analyzer in suite (not just the ones that fired), so a
+// clean log still documents what was checked. Suppressed diagnostics
+// become results with an inSource suppression; SARIF consumers treat
+// those as resolved, matching accuvet's exit-code semantics.
+func WriteSARIF(w io.Writer, fset *token.FileSet, diags []Diagnostic, suite []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(suite))
+	ruleIndex := make(map[string]int, len(suite))
+	for _, a := range suite {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	// Occurrence counters disambiguate fingerprints when the same
+	// message fires twice in one file (e.g. two identical lock/IO
+	// pairings); line numbers stay out of the hash so pure reflow does
+	// not churn identities.
+	occurrence := make(map[string]int, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		uri := sarifURI(pos.Filename)
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			// An analyzer outside the suite (tests compose ad-hoc sets):
+			// grow the rules table on the fly.
+			idx = len(rules)
+			ruleIndex[d.Analyzer] = idx
+			rules = append(rules, sarifRule{ID: d.Analyzer, ShortDescription: sarifMessage{Text: d.Analyzer}})
+		}
+		key := uri + "\x00" + d.Analyzer + "\x00" + d.Message
+		occurrence[key]++
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d", key, occurrence[key])))
+		res := sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri},
+					Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+				},
+			}},
+			PartialFingerprints: map[string]string{"accuvetFingerprint/v1": fmt.Sprintf("%x", sum[:8])},
+		}
+		if d.Suppressed {
+			res.Suppressions = []sarifSuppression{{Kind: "inSource"}}
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "accuvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a diagnostic's file as a repo-relative, slash-
+// separated URI when the file sits under the working directory, and
+// falls back to the raw path otherwise. Relative URIs keep the log
+// portable between the developer checkout and the CI runner.
+func sarifURI(filename string) string {
+	if cwd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(cwd, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}

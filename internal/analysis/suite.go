@@ -1,7 +1,7 @@
 package analysis
 
-// NewSuite returns fresh instances of the nine accuvet analyzers, in the
-// order they report:
+// NewSuite returns fresh instances of the fourteen accuvet analyzers, in
+// the order they report:
 //
 // Wave 1 — determinism invariants (AST + object identity):
 //
@@ -18,6 +18,14 @@ package analysis
 //	scratchescape — per-worker scratch never escapes its worker goroutine
 //	errcmp        — errors.Is for module sentinels, not == (wrapping-safe)
 //
+// Wave 3 — service-layer invariants (package-local call graph + CFG):
+//
+//	httpbody      — every *http.Response body closed on all paths, drained
+//	respwrite     — response header committed once per path, via helpers
+//	lockedio      — no blocking I/O reachable while a mutex is held
+//	ctxflow       — outgoing requests carry a context; poll loops consult it
+//	timerleak     — no time.After in loops, no time.Tick at all
+//
 // Instances hold per-run state (metricname's cross-package duplicate
 // table), so every checker invocation must call NewSuite rather than
 // sharing analyzers globally.
@@ -32,5 +40,10 @@ func NewSuite() []*Analyzer {
 		CtxCancel(),
 		ScratchEscape(),
 		ErrCmp(),
+		HTTPBody(),
+		RespWrite(),
+		LockedIO(),
+		CtxFlow(),
+		TimerLeak(),
 	}
 }

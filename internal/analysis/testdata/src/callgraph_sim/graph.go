@@ -1,0 +1,31 @@
+// Fixture for the call-graph golden tests: one edge of every kind —
+// direct, method, interface, recursive — plus go/defer context flags.
+package sim
+
+type store struct{ n int }
+
+func (s *store) save() { s.flush() }
+
+func (s *store) flush() { s.n++ }
+
+type sink interface{ save() }
+
+func direct() { helper() }
+
+func helper() {}
+
+func viaInterface(s sink) { s.save() }
+
+func recurse(n int) {
+	if n > 0 {
+		recurse(n - 1)
+	}
+}
+
+func spawn() {
+	go helper()
+	defer helper()
+	direct()
+}
+
+func spawnOnly() { go helper() }

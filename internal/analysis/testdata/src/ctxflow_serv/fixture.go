@@ -1,0 +1,54 @@
+// Fixture for the ctxflow analyzer: outgoing requests must carry a
+// context, and pacing retry/poll loops must consult one when it is in
+// scope.
+package serv
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func buildsWithoutContext(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `http\.NewRequest builds a request without a context`
+}
+
+func buildsWithContext(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}
+
+func conveniences(c *http.Client, url string) {
+	c.Post(url, "application/json", nil) // want `\(\*http\.Client\)\.Post sends a request without a context`
+	http.Get(url)                        // want `http\.Get sends a request that cannot be cancelled`
+}
+
+func pollsWithoutCtx(ctx context.Context, ready func() bool) {
+	for !ready() { // want `never consults its context`
+		time.Sleep(10 * time.Millisecond)
+	}
+	<-ctx.Done()
+}
+
+func pollsWithCtx(ctx context.Context, ready func() bool) {
+	for !ready() {
+		if ctx.Err() != nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func noCtxInScope(ready func() bool) {
+	// No context reaches this function; adding one is the caller's
+	// refactor, so the loop is not flagged.
+	for !ready() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func allowedPoll(ctx context.Context, ready func() bool) {
+	//accu:allow ctxflow -- bounded warmup loop, caller enforces the deadline
+	for !ready() {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,111 @@
+// Fixture for the httpbody analyzer: response bodies must be closed on
+// every CFG path (through in-package helpers too) and drained when they
+// are closed without ever being read.
+package serv
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+var errStatus = errors.New("unexpected status")
+
+func leakOnReturn(c *http.Client, url string) (int, error) {
+	resp, err := c.Get(url) // want `resp's response body is not closed on every path`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func closedWithDefer(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func branchLeak(c *http.Client, url string, v any) error {
+	resp, err := c.Get(url) // want `resp's response body is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errStatus // leaks: no Close on this path
+	}
+	err = json.NewDecoder(resp.Body).Decode(v)
+	resp.Body.Close()
+	return err
+}
+
+// drainClose is the helper shape the parameter summaries must see
+// through: it drains and closes whatever body it is handed.
+func drainClose(rc io.ReadCloser) {
+	io.Copy(io.Discard, rc)
+	rc.Close()
+}
+
+// closeOnly closes without draining — discharges the close obligation
+// but not the drain one.
+func closeOnly(rc io.ReadCloser) { rc.Close() }
+
+func closedThroughHelper(c *http.Client, url string) (int, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp.Body)
+	return resp.StatusCode, nil
+}
+
+func closedButNotDrained(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer closeOnly(resp.Body) // want `resp's body is closed but never read or drained`
+	return nil
+}
+
+func directCloseNoRead(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close() // want `resp's body is closed but never read or drained`
+	return nil
+}
+
+// fetch produces the response through one in-package hop; callers still
+// own the body (respAssign keys off the result type, not the callee).
+func fetch(c *http.Client, url string) (*http.Response, error) { return c.Get(url) }
+
+func leakFromHelper(c *http.Client, url string) error {
+	resp, err := fetch(c, url) // want `resp's response body is not closed on every path`
+	if err != nil {
+		return err
+	}
+	_ = resp.Status
+	return nil
+}
+
+func returnsOwnership(c *http.Client, url string) (*http.Response, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil // ownership moves to the caller: no obligation here
+}
+
+func allowedLeak(c *http.Client, url string) {
+	resp, err := c.Get(url) //accu:allow httpbody -- process exits immediately after this probe
+	if err != nil {
+		return
+	}
+	_ = resp.StatusCode
+}

@@ -1,0 +1,67 @@
+// Fixture for the lockedio analyzer: blocking I/O reachable while a
+// mutex is held, directly, through an in-package helper (call-graph
+// summary), and through the module's cross-package journal root.
+package serv
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"example.test/internal/sim"
+)
+
+type server struct {
+	mu   sync.Mutex
+	path string
+	j    *sim.CellJournal
+}
+
+func (s *server) saveUnderLock(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile(s.path, data, 0o600) // want `blocking call os\.WriteFile while s\.mu\.Lock\(\) is held`
+}
+
+func (s *server) saveOutsideLock(data []byte) error {
+	s.mu.Lock()
+	p := s.path
+	s.mu.Unlock()
+	return os.WriteFile(p, data, 0o600)
+}
+
+// persist is the in-package hop the summary propagates through.
+func (s *server) persist(data []byte) error {
+	return os.WriteFile(s.path, data, 0o600)
+}
+
+func (s *server) saveViaHelper(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persist(data) // want `blocking call \(\*server\)\.persist → os\.WriteFile while s\.mu\.Lock\(\) is held`
+}
+
+func sleepUnderRLock(mu *sync.RWMutex) {
+	mu.RLock()
+	time.Sleep(time.Millisecond) // want `blocking call time\.Sleep while mu\.RLock\(\) is held`
+	mu.RUnlock()
+}
+
+func (s *server) journalUnderLock(line string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Commit(line) // want `blocking call \(\*sim\.CellJournal\)\.Commit while s\.mu\.Lock\(\) is held`
+}
+
+func (s *server) asyncIsFine(data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.persist(data) // runs outside the critical section
+}
+
+func (s *server) allowedDurability(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//accu:allow lockedio -- fsync-before-ack: durability must precede the reply
+	return os.WriteFile(s.path, data, 0o600)
+}

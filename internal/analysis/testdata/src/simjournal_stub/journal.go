@@ -1,0 +1,11 @@
+// Stub of internal/sim's CellJournal: lockedio recognizes its
+// Commit/Sync/Close methods as in-module cross-package blocking roots.
+package sim
+
+type CellJournal struct{}
+
+func (j *CellJournal) Commit(line string) error { return nil }
+
+func (j *CellJournal) Sync() error { return nil }
+
+func (j *CellJournal) Close() error { return nil }

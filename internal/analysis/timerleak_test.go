@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestTimerLeak(t *testing.T) {
+	analysistest.Run(t, analysis.TimerLeak(), analysistest.Fixture{
+		Dir:        "testdata/src/timerleak_serv",
+		ImportPath: "example.test/internal/serv",
+	})
+}

@@ -209,12 +209,23 @@ func (w *Worker) post(ctx context.Context, path, contentType string, body io.Rea
 	return w.do(req, out)
 }
 
+// drainClose drains what is left of a response body (bounded, in case a
+// misbehaving peer streams forever) and closes it. A body with unread
+// bytes — a JSON decoder stops at the value and leaves the trailing
+// newline — forces the transport to discard the connection instead of
+// returning it to the keep-alive pool, which under upload load means a
+// fresh TCP handshake per cell batch.
+func drainClose(rc io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(rc, 64<<10))
+	rc.Close()
+}
+
 func (w *Worker) do(req *http.Request, out any) error {
 	resp, err := w.client().Do(req)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {

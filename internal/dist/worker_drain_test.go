@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+type trackedBody struct {
+	*bytes.Reader
+	closed bool
+}
+
+func (b *trackedBody) Close() error { b.closed = true; return nil }
+
+func TestDrainCloseConsumesAndCloses(t *testing.T) {
+	b := &trackedBody{Reader: bytes.NewReader(make([]byte, 4096))}
+	drainClose(b)
+	if b.Len() != 0 {
+		t.Errorf("drainClose left %d unread bytes", b.Len())
+	}
+	if !b.closed {
+		t.Error("drainClose did not close the body")
+	}
+}
+
+// TestWorkerReusesConnections pins the drain fix behaviorally: a JSON
+// decoder stops at the end of the value and leaves the encoder's
+// trailing newline unread, and a body closed with unread bytes makes the
+// transport discard the connection. With drainClose in Worker.do, every
+// sequential postJSON must arrive over the same keep-alive connection.
+func TestWorkerReusesConnections(t *testing.T) {
+	var mu sync.Mutex
+	conns := make(map[string]int)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns[r.RemoteAddr]++
+		mu.Unlock()
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}))
+	defer srv.Close()
+
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	w := &Worker{Coordinator: srv.URL, Client: &http.Client{Transport: tr}}
+	for i := 0; i < 3; i++ {
+		var out map[string]string
+		if err := w.postJSON(context.Background(), "/ack", map[string]int{"attempt": i}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(conns) != 1 {
+		t.Fatalf("sequential uploads used %d connections (want 1 reused keep-alive): %v", len(conns), conns)
+	}
+}

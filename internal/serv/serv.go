@@ -285,7 +285,7 @@ func (s *Server) Submit(req SubmitRequest) (Job, error) {
 		heapIndex: -1,
 		hub:       newHub(),
 	}
-	if err := s.store.saveJob(&e.job); err != nil {
+	if err := s.store.saveJob(&e.job); err != nil { //accu:allow lockedio -- durability-before-signal: the job document must hit disk before the ID is visible
 		return Job{}, err
 	}
 	s.seq++
@@ -361,7 +361,7 @@ func (s *Server) Cancel(id string) (Job, error) {
 	switch e.job.State {
 	case StateQueued:
 		heap.Remove(&s.queue, e.heapIndex)
-		s.finishLocked(e, StateCancelled, "cancelled by client")
+		s.finishLocked(e, StateCancelled, "cancelled by client") //accu:allow lockedio -- durability-before-signal: the terminal state persists before waiters wake
 		job := s.view(e)
 		s.mu.Unlock()
 		return job, nil
@@ -400,7 +400,7 @@ func (s *Server) Resume(id string) (Job, error) {
 	e.job.Error = ""
 	e.job.FinishedAt = nil
 	e.hub = newHub() // the old hub closed at the terminal transition
-	if err := s.store.saveJob(&e.job); err != nil {
+	if err := s.store.saveJob(&e.job); err != nil { //accu:allow lockedio -- durability-before-signal: the requeued attempt persists before the queue signals
 		s.mu.Unlock()
 		return Job{}, err
 	}
@@ -518,7 +518,7 @@ func (s *Server) claim() (*entry, context.Context, context.CancelCauseFunc) {
 	e.done.Store(0)
 	e.resumed.Store(0)
 	s.runningCount++
-	if err := s.store.saveJob(&e.job); err != nil {
+	if err := s.store.saveJob(&e.job); err != nil { //accu:allow lockedio -- durability-before-signal: the claim persists before the job is handed to a runner
 		// The document could not be made durable; running it anyway would
 		// desynchronize disk and memory. Fail the job in memory and keep
 		// serving.
@@ -549,16 +549,16 @@ func (s *Server) runJob(e *entry, ctx context.Context, cancel context.CancelCaus
 	switch {
 	case err == nil:
 		e.job.Result = res
-		s.finishLocked(e, StateDone, "")
+		s.finishLocked(e, StateDone, "") //accu:allow lockedio -- durability-before-signal: the terminal state persists before waiters wake
 	case errors.Is(cause, errCancelJob):
-		s.finishLocked(e, StateCancelled, "cancelled by client")
+		s.finishLocked(e, StateCancelled, "cancelled by client") //accu:allow lockedio -- durability-before-signal: the terminal state persists before waiters wake
 	case errors.Is(cause, errDrainJob):
 		// Preempted, not failed: requeue for the next process without
 		// consuming an attempt. The checkpoint holds the completed cells.
 		e.job.State = StateQueued
 		e.job.Attempt--
 		e.job.StartedAt = nil
-		if perr := s.store.saveJob(&e.job); perr != nil {
+		if perr := s.store.saveJob(&e.job); perr != nil { //accu:allow lockedio -- durability-before-signal: the requeue persists before the queue signals
 			s.logf("job %s: persist requeue: %v", e.job.ID, perr)
 		}
 		heap.Push(&s.queue, e)
@@ -567,7 +567,7 @@ func (s *Server) runJob(e *entry, ctx context.Context, cancel context.CancelCaus
 	case e.job.Attempt < e.job.MaxAttempts:
 		e.job.State = StateQueued
 		e.job.Error = err.Error()
-		if perr := s.store.saveJob(&e.job); perr != nil {
+		if perr := s.store.saveJob(&e.job); perr != nil { //accu:allow lockedio -- durability-before-signal: the retry persists before the queue signals
 			s.logf("job %s: persist retry: %v", e.job.ID, perr)
 		}
 		heap.Push(&s.queue, e)
@@ -575,7 +575,7 @@ func (s *Server) runJob(e *entry, ctx context.Context, cancel context.CancelCaus
 		s.cond.Signal()
 		s.logf("job %s: attempt %d/%d failed, retrying: %v", e.job.ID, e.job.Attempt, e.job.MaxAttempts, err)
 	default:
-		s.finishLocked(e, StateFailed, err.Error())
+		s.finishLocked(e, StateFailed, err.Error()) //accu:allow lockedio -- durability-before-signal: the terminal state persists before waiters wake
 	}
 	s.updateGauges()
 	s.mu.Unlock()

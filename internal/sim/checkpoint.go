@@ -210,13 +210,13 @@ func (j *CellJournal) Commit(key CellKey, recs []Record) error {
 	if j.done[key] {
 		return nil
 	}
-	if _, err := j.f.Write(line); err != nil {
+	if _, err := j.f.Write(line); err != nil { //accu:allow lockedio -- journal append under j.mu is the durability contract; entries must serialize
 		return fmt.Errorf("append cell: %w", err)
 	}
 	j.done[key] = true
 	j.sinceSync++
 	if j.syncEvery > 0 && j.sinceSync >= j.syncEvery {
-		if err := j.f.Sync(); err != nil {
+		if err := j.f.Sync(); err != nil { //accu:allow lockedio -- periodic fsync must cover every entry appended before it
 			return fmt.Errorf("sync cell: %w", err)
 		}
 		j.sinceSync = 0
@@ -253,16 +253,16 @@ func (j *CellJournal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.sinceSync = 0
-	return j.f.Sync()
+	return j.f.Sync() //accu:allow lockedio -- explicit fsync barrier; concurrent appends must not slip past it
 }
 
 // Close syncs and closes the journal file.
 func (j *CellJournal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.f.Sync(); err != nil {
+	if err := j.f.Sync(); err != nil { //accu:allow lockedio -- close-time fsync+close must exclude concurrent appends
 		j.f.Close()
 		return err
 	}
-	return j.f.Close()
+	return j.f.Close() //accu:allow lockedio -- close-time fsync+close must exclude concurrent appends
 }
