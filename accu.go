@@ -37,6 +37,7 @@ import (
 	"github.com/accu-sim/accu/internal/pagerank"
 	"github.com/accu-sim/accu/internal/rng"
 	"github.com/accu-sim/accu/internal/sim"
+	"github.com/accu-sim/accu/internal/stats"
 	"github.com/accu-sim/accu/internal/theory"
 )
 
@@ -206,6 +207,52 @@ type (
 // from your collect callback (and CellJournal.Replay when resuming) and
 // compare Sum() across runs.
 func NewRecordDigest() *RecordDigest { return sim.NewRecordDigest() }
+
+// Streaming statistics, re-exported from the stats layer. These are the
+// types Summary accessors return and job results embed.
+type (
+	// Welford is a numerically stable online mean/variance accumulator.
+	Welford = stats.Welford
+	// WelfordSnapshot is the JSON view of a Welford accumulator.
+	WelfordSnapshot = stats.WelfordSnapshot
+	// Sketch is a mergeable streaming quantile sketch whose serialized
+	// snapshot is byte-identical for any merge order or partition of the
+	// same observation multiset.
+	Sketch = stats.Sketch
+	// SketchSnapshot is the JSON view of a Sketch (quantiles + centroids).
+	SketchSnapshot = stats.SketchSnapshot
+	// StoreRecord is one per-cell observation row of a columnar result
+	// store.
+	StoreRecord = stats.StoreRecord
+	// StoreWriter appends rows to a columnar result store file.
+	StoreWriter = stats.StoreWriter
+	// StoreReader scans a columnar result store file sequentially.
+	StoreReader = stats.StoreReader
+)
+
+// NewSketch returns an empty quantile sketch with default accuracy
+// (relative error 0.5%, 512 centroids).
+func NewSketch() *Sketch { return stats.NewSketch() }
+
+// NewSketchWith returns an empty sketch with explicit relative accuracy
+// alpha in (0, 1) and centroid bound maxCentroids >= 8.
+func NewSketchWith(alpha float64, maxCentroids int) (*Sketch, error) {
+	return stats.NewSketchWith(alpha, maxCentroids)
+}
+
+// SketchFromSnapshot reconstructs a mergeable sketch from its snapshot.
+func SketchFromSnapshot(snap SketchSnapshot) (*Sketch, error) {
+	return stats.SketchFromSnapshot(snap)
+}
+
+// CreateResultStore creates a columnar result store at path (failing if
+// it exists); feed it per-record rows from a MonteCarlo collect callback.
+func CreateResultStore(path string, meta map[string]string) (*StoreWriter, error) {
+	return stats.CreateStore(path, meta)
+}
+
+// OpenResultStore opens a result store for sequential scanning.
+func OpenResultStore(path string) (*StoreReader, error) { return stats.OpenStore(path) }
 
 // ErrCellTimeout is wrapped by cell errors whose attempts exceeded
 // Protocol.CellTimeout.

@@ -10,9 +10,19 @@
 //
 // With -runs N (N > 1) accurun instead runs the Monte-Carlo engine on the
 // single-network protocol — N independent realizations of one network,
-// fanned out over -workers — and prints summary statistics. This is the
-// "one dataset, many repetitions" shape the cell-level scheduler
-// parallelizes.
+// fanned out over -workers — and prints summary statistics (mean, std,
+// exact min/max and sketch-backed p50/p90/p99). This is the "one dataset,
+// many repetitions" shape the cell-level scheduler parallelizes. In that
+// mode -store writes every (policy, network, run, benefit,
+// cautiousFriends) row to a compact columnar result store and -out writes
+// the aggregated result (Welford + quantile-sketch snapshots per policy,
+// same shape as an accuserv job result) as JSON.
+//
+// The query subcommand re-aggregates a result store offline:
+//
+//	accurun query -store out.acs -policy abm -quantiles 0.5,0.9,0.99 [-where network=0,run=3] [-json]
+//
+// at O(sketch centroids) memory regardless of row count.
 package main
 
 import (
@@ -22,12 +32,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	accu "github.com/accu-sim/accu"
 	"github.com/accu-sim/accu/internal/prof"
+	"github.com/accu-sim/accu/internal/serv"
+	"github.com/accu-sim/accu/internal/stats"
 )
 
 // writeJournal saves the replayable request journal of a run.
@@ -73,6 +87,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "query" {
+		return runQuery(args[1:], out)
+	}
 	fs := flag.NewFlagSet("accurun", flag.ContinueOnError)
 	var (
 		preset   = fs.String("preset", "slashdot", "dataset preset")
@@ -93,6 +110,8 @@ func run(args []string, out io.Writer) error {
 		resume     = fs.Bool("resume", false, "resume from an existing -checkpoint journal")
 		keepGoing  = fs.Bool("keep-going", false, "continue past failed cells and report them as warnings (-runs > 1 only)")
 		digest     = fs.Bool("digest", false, "print the canonical SHA-256 record-set digest (-runs > 1 only)")
+		store      = fs.String("store", "", "write per-record rows to this columnar result store (-runs > 1 only)")
+		outFile    = fs.String("out", "", "write the aggregated result (Welford + sketch snapshots) as JSON to this file (-runs > 1 only)")
 
 		metrics    = fs.Bool("metrics", false, "print policy/environment metrics after the trace")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -137,11 +156,20 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		meta := map[string]string{
+			"preset":   *preset,
+			"scale":    fmt.Sprintf("%g", *scale),
+			"policy":   *policy,
+			"k":        fmt.Sprintf("%d", *k),
+			"cautious": fmt.Sprintf("%d", *cautious),
+			"seed":     fmt.Sprintf("%d", *seed),
+			"runs":     fmt.Sprintf("%d", *runs),
+		}
 		return runRepeated(out, generator, setup, factory, *k, *runs, *workers, root, reg,
-			*checkpoint, *resume, *keepGoing, *digest)
+			*checkpoint, *resume, *keepGoing, *digest, *store, *outFile, meta)
 	}
-	if *checkpoint != "" || *keepGoing || *digest {
-		return fmt.Errorf("-checkpoint, -keep-going and -digest apply to the -runs > 1 Monte-Carlo mode only")
+	if *checkpoint != "" || *keepGoing || *digest || *store != "" || *outFile != "" {
+		return fmt.Errorf("-checkpoint, -keep-going, -digest, -store and -out apply to the -runs > 1 Monte-Carlo mode only")
 	}
 	g, err := generator.Generate(root.Split("network"))
 	if err != nil {
@@ -228,6 +256,218 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// queryPolicy is one policy's re-aggregated statistics in a query result.
+type queryPolicy struct {
+	Policy          string               `json:"policy"`
+	Count           int64                `json:"count"`
+	Benefit         accu.WelfordSnapshot `json:"benefit"`
+	CautiousFriends accu.WelfordSnapshot `json:"cautiousFriends"`
+	BenefitSketch   accu.SketchSnapshot  `json:"benefitSketch"`
+	Quantiles       []queryQuantile      `json:"quantiles"`
+}
+
+// queryQuantile is one requested quantile of the benefit distribution.
+type queryQuantile struct {
+	Q     float64 `json:"q"`
+	Value float64 `json:"value"`
+}
+
+// queryResult is the JSON payload of the query subcommand.
+type queryResult struct {
+	Store     string            `json:"store"`
+	Meta      map[string]string `json:"meta,omitempty"`
+	Truncated bool              `json:"truncated,omitempty"`
+	Rows      int64             `json:"rows"`
+	Policies  []queryPolicy     `json:"policies"`
+}
+
+// runQuery re-aggregates a columnar result store: it streams the rows
+// through per-policy Welford accumulators and quantile sketches, so
+// memory stays O(policies × sketch centroids) however many rows the
+// store holds.
+func runQuery(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("accurun query", flag.ContinueOnError)
+	var (
+		store     = fs.String("store", "", "columnar result store to query (required)")
+		policy    = fs.String("policy", "", "restrict to one policy")
+		quantiles = fs.String("quantiles", "0.5,0.9,0.99", "comma-separated quantiles in [0, 1]")
+		where     = fs.String("where", "", "row filters, comma-separated key=value (keys: network, run)")
+		asJSON    = fs.Bool("json", false, "emit the aggregation as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" {
+		return fmt.Errorf("query: -store is required")
+	}
+	qs, err := parseQuantiles(*quantiles)
+	if err != nil {
+		return err
+	}
+	filter, err := parseWhere(*where)
+	if err != nil {
+		return err
+	}
+
+	sr, err := accu.OpenResultStore(*store)
+	if err != nil {
+		return err
+	}
+	type agg struct {
+		benefit  accu.Welford
+		cautious accu.Welford
+		sketch   *accu.Sketch
+	}
+	var order []string
+	aggs := make(map[string]*agg)
+	var rows int64
+	err = sr.Scan(func(rec accu.StoreRecord) error {
+		if *policy != "" && rec.Policy != *policy {
+			return nil
+		}
+		if !filter.match(rec) {
+			return nil
+		}
+		a, ok := aggs[rec.Policy]
+		if !ok {
+			a = &agg{sketch: accu.NewSketch()}
+			aggs[rec.Policy] = a
+			order = append(order, rec.Policy)
+		}
+		a.benefit.Add(rec.Benefit)
+		a.cautious.Add(float64(rec.CautiousFriends))
+		a.sketch.Add(rec.Benefit)
+		rows++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if sr.Truncated() {
+		fmt.Fprintf(os.Stderr, "accurun: warning: %s has a torn trailing block (interrupted writer); results cover the intact prefix\n", *store)
+	}
+	if *policy != "" && len(order) == 0 {
+		return fmt.Errorf("query: no rows for policy %q in %s", *policy, *store)
+	}
+
+	res := queryResult{Store: *store, Meta: sr.Meta(), Truncated: sr.Truncated(), Rows: rows}
+	for _, p := range order {
+		a := aggs[p]
+		qp := queryPolicy{
+			Policy:          p,
+			Count:           a.benefit.Count(),
+			Benefit:         a.benefit.Snapshot(),
+			CautiousFriends: a.cautious.Snapshot(),
+			BenefitSketch:   a.sketch.Snapshot(),
+		}
+		for _, q := range qs {
+			qp.Quantiles = append(qp.Quantiles, queryQuantile{Q: q, Value: a.sketch.Quantile(q)})
+		}
+		res.Policies = append(res.Policies, qp)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	header := []string{"policy", "count", "benefit"}
+	for _, q := range qs {
+		header = append(header, fmt.Sprintf("p%g", q*100))
+	}
+	header = append(header, "cautious")
+	var tRows [][]string
+	for _, qp := range res.Policies {
+		row := []string{
+			qp.Policy,
+			fmt.Sprintf("%d", qp.Count),
+			fmt.Sprintf("%.1f ±%.1f", qp.Benefit.Mean, qp.Benefit.CI95),
+		}
+		for _, qq := range qp.Quantiles {
+			row = append(row, fmt.Sprintf("%.1f", qq.Value))
+		}
+		row = append(row, fmt.Sprintf("%.1f", qp.CautiousFriends.Mean))
+		tRows = append(tRows, row)
+	}
+	fmt.Fprintf(out, "store: %s (%d rows)\n", *store, rows)
+	if len(res.Meta) > 0 {
+		keys := make([]string, 0, len(res.Meta))
+		for k := range res.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, k+"="+res.Meta[k])
+		}
+		fmt.Fprintf(out, "meta:  %s\n", strings.Join(parts, " "))
+	}
+	fmt.Fprint(out, stats.RenderTable(header, tRows))
+	return nil
+}
+
+// parseQuantiles parses the -quantiles flag into ascending probabilities.
+func parseQuantiles(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		q, err := strconv.ParseFloat(part, 64)
+		if err != nil || q < 0 || q > 1 {
+			return nil, fmt.Errorf("query: invalid quantile %q (want a number in [0, 1])", part)
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("query: -quantiles is empty")
+	}
+	return out, nil
+}
+
+// rowFilter holds the parsed -where clauses: nil fields match any value.
+type rowFilter struct {
+	network, run *int
+}
+
+func (f rowFilter) match(rec accu.StoreRecord) bool {
+	if f.network != nil && rec.Network != *f.network {
+		return false
+	}
+	if f.run != nil && rec.Run != *f.run {
+		return false
+	}
+	return true
+}
+
+// parseWhere parses "network=0,run=3"-style filters.
+func parseWhere(s string) (rowFilter, error) {
+	var f rowFilter
+	if s == "" {
+		return f, nil
+	}
+	for _, clause := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok {
+			return f, fmt.Errorf("query: invalid -where clause %q (want key=value)", clause)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return f, fmt.Errorf("query: invalid -where value %q: %v", val, err)
+		}
+		switch key {
+		case "network":
+			f.network = &n
+		case "run":
+			f.run = &n
+		default:
+			return f, fmt.Errorf("query: unknown -where key %q (have: network, run)", key)
+		}
+	}
+	return f, nil
+}
+
 // policyFactory builds the Monte-Carlo factory for one named policy. The
 // random baseline derives its stream from the per-cell factory seed, so
 // repeated runs stay independent yet reproducible.
@@ -261,10 +501,14 @@ func policyFactory(name string, wd, wi float64, reg *accu.Metrics) (accu.PolicyF
 
 // runRepeated executes the -runs > 1 mode: one network, many realizations,
 // fanned out over the cell-level scheduler, summarized as distribution
-// statistics rather than a per-request trace. With checkpoint set,
+// statistics (via accu.Summary: Welford moments plus mergeable quantile
+// sketches) rather than a per-request trace. With checkpoint set,
 // completed cells journal to that file and a resumed invocation replays
-// them into the statistics before computing only what is missing.
-func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, factory accu.PolicyFactory, k, runs, workers int, root accu.Seed, reg *accu.Metrics, checkpoint string, resume, keepGoing, digest bool) error {
+// them into the statistics before computing only what is missing. With
+// store set, every record additionally appends one row to a columnar
+// result store; with outPath set, the aggregated per-policy result
+// (identical in shape to an accuserv job result) is written as JSON.
+func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, factory accu.PolicyFactory, k, runs, workers int, root accu.Seed, reg *accu.Metrics, checkpoint string, resume, keepGoing, digest bool, store, outPath string, meta map[string]string) error {
 	protocol := accu.Protocol{
 		Gen:             generator,
 		Setup:           setup,
@@ -282,29 +526,36 @@ func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, fact
 			workers, runs, resolved)
 	}
 
-	var (
-		n                  int
-		sum, sumSq         float64
-		minB, maxB         = math.Inf(1), math.Inf(-1)
-		sumFriends         int
-		sumCautiousFriends int
-	)
+	summary := accu.NewSummary(nil)
+	var sumFriends int
 	var dig *accu.RecordDigest
-	if digest {
+	if digest || outPath != "" {
 		dig = accu.NewRecordDigest()
 	}
+	var sw *accu.StoreWriter
+	if store != "" {
+		w, err := accu.CreateResultStore(store, meta)
+		if err != nil {
+			return err
+		}
+		sw = w
+	}
+	var storeErr error
 	collect := func(r accu.Record) {
 		if dig != nil {
 			dig.Collect(r)
 		}
-		n++
-		b := r.Result.Benefit
-		sum += b
-		sumSq += b * b
-		minB = math.Min(minB, b)
-		maxB = math.Max(maxB, b)
+		summary.Collect(r)
 		sumFriends += r.Result.Friends
-		sumCautiousFriends += r.Result.CautiousFriends
+		if sw != nil && storeErr == nil {
+			storeErr = sw.Append(accu.StoreRecord{
+				Policy:          r.Policy,
+				Network:         r.Network,
+				Run:             r.Run,
+				Benefit:         r.Result.Benefit,
+				CautiousFriends: r.Result.CautiousFriends,
+			})
+		}
 	}
 
 	var cells *accu.CellJournal
@@ -331,6 +582,11 @@ func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, fact
 			err = fmt.Errorf("close checkpoint journal: %w", cerr)
 		}
 	}
+	if sw != nil {
+		if cerr := sw.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close result store: %w", cerr)
+		}
+	}
 	var fsum *accu.FailureSummary
 	if keepGoing && errors.As(err, &fsum) {
 		fmt.Fprintf(os.Stderr, "accurun: warning: %v\n", fsum)
@@ -339,26 +595,40 @@ func runRepeated(out io.Writer, generator accu.Generator, setup accu.Setup, fact
 	if err != nil {
 		return err
 	}
-	if n == 0 {
+	if storeErr != nil {
+		return fmt.Errorf("append to result store: %w", storeErr)
+	}
+	fb := summary.FinalBenefit(factory.Name)
+	if fb == nil || fb.Count() == 0 {
 		return fmt.Errorf("no cells completed")
 	}
+	n := int(fb.Count())
 	wall := time.Since(start)
 
-	mean := sum / float64(n)
-	variance := sumSq/float64(n) - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
+	sk := summary.FinalBenefitSketch(factory.Name)
+	snap := sk.Snapshot()
 	fmt.Fprintf(out, "policy:  %s, budget %d, %d realizations, %d workers\n",
 		factory.Name, k, n, resolved)
 	fmt.Fprintf(out, "benefit: mean %.1f  std %.1f  min %.1f  max %.1f\n",
-		mean, math.Sqrt(variance), minB, maxB)
+		fb.Mean(), fb.Std(), snap.Min, snap.Max)
+	fmt.Fprintf(out, "quantiles: p50 %.1f  p90 %.1f  p99 %.1f\n",
+		snap.P50, snap.P90, snap.P99)
 	fmt.Fprintf(out, "friends: mean %.1f (%.1f cautious)\n",
-		float64(sumFriends)/float64(n), float64(sumCautiousFriends)/float64(n))
+		float64(sumFriends)/float64(n), summary.CautiousFriends(factory.Name).Mean())
 	fmt.Fprintf(out, "timing:  %v wall, %.1f runs/sec\n",
 		wall.Round(time.Millisecond), float64(n)/wall.Seconds())
-	if dig != nil {
+	if dig != nil && digest {
 		fmt.Fprintf(out, "digest:  %s\n", dig.Sum())
+	}
+	if outPath != "" {
+		res := serv.BuildResult(n, dig, summary)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write -out: %w", err)
+		}
 	}
 	if snap := reg.Snapshot(); !snap.Empty() {
 		fmt.Fprintf(out, "\n-- metrics --\n%s", snap.Render())

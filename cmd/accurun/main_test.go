@@ -285,3 +285,139 @@ func TestJournalFlag(t *testing.T) {
 		t.Errorf("journal lines = %d, want 8\n%s", lines, data)
 	}
 }
+
+// TestStoreOutAndQuery pins the result-store path end to end: a
+// Monte-Carlo run writes both a columnar store and an aggregated result
+// JSON; querying the store must reproduce the exact sketch quantiles of
+// the live run (the store holds exact float64 benefits, so the replayed
+// sketch is byte-identical).
+func TestStoreOutAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "out.acs")
+	outJSON := filepath.Join(dir, "result.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "slashdot", "-scale", "0.02", "-k", "10",
+		"-cautious", "5", "-runs", "6", "-store", store, "-out", outJSON,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "quantiles: p50") {
+		t.Errorf("summary missing quantile line:\n%s", buf.String())
+	}
+
+	data, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Records  int    `json:"records"`
+		Digest   string `json:"digest"`
+		Policies []struct {
+			Policy             string `json:"policy"`
+			FinalBenefitSketch struct {
+				Count         int64 `json:"count"`
+				P50, P90, P99 float64
+			} `json:"finalBenefitSketch"`
+		} `json:"policies"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("invalid -out JSON: %v\n%s", err, data)
+	}
+	if res.Records != 6 || len(res.Policies) != 1 || res.Digest == "" {
+		t.Fatalf("result = %+v", res)
+	}
+	live := res.Policies[0]
+
+	var qbuf bytes.Buffer
+	if err := run([]string{"query", "-store", store, "-policy", "abm", "-json"}, &qbuf); err != nil {
+		t.Fatal(err)
+	}
+	var q struct {
+		Rows     int64 `json:"rows"`
+		Meta     map[string]string
+		Policies []struct {
+			Policy    string `json:"policy"`
+			Count     int64  `json:"count"`
+			Quantiles []struct {
+				Q     float64 `json:"q"`
+				Value float64 `json:"value"`
+			} `json:"quantiles"`
+		} `json:"policies"`
+	}
+	if err := json.Unmarshal(qbuf.Bytes(), &q); err != nil {
+		t.Fatalf("invalid query JSON: %v\n%s", err, qbuf.String())
+	}
+	if q.Rows != 6 || len(q.Policies) != 1 || q.Policies[0].Count != 6 {
+		t.Fatalf("query = %+v", q)
+	}
+	if q.Meta["preset"] != "slashdot" || q.Meta["runs"] != "6" {
+		t.Errorf("meta = %v", q.Meta)
+	}
+	want := map[float64]float64{0.5: live.FinalBenefitSketch.P50, 0.9: live.FinalBenefitSketch.P90, 0.99: live.FinalBenefitSketch.P99}
+	for _, qq := range q.Policies[0].Quantiles {
+		if qq.Value != want[qq.Q] {
+			t.Errorf("query p%g = %v, want %v (live run)", qq.Q*100, qq.Value, want[qq.Q])
+		}
+	}
+
+	// Text mode renders a table with the quantile columns.
+	var tbuf bytes.Buffer
+	if err := run([]string{"query", "-store", store}, &tbuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, wantCol := range []string{"policy", "p50", "p90", "p99", "abm"} {
+		if !strings.Contains(tbuf.String(), wantCol) {
+			t.Errorf("query table missing %q:\n%s", wantCol, tbuf.String())
+		}
+	}
+
+	// -where filters rows; a run filter keeps exactly one.
+	var wbuf bytes.Buffer
+	if err := run([]string{"query", "-store", store, "-where", "run=3", "-json"}, &wbuf); err != nil {
+		t.Fatal(err)
+	}
+	var wq struct {
+		Rows int64 `json:"rows"`
+	}
+	if err := json.Unmarshal(wbuf.Bytes(), &wq); err != nil {
+		t.Fatal(err)
+	}
+	if wq.Rows != 1 {
+		t.Errorf("filtered rows = %d, want 1", wq.Rows)
+	}
+}
+
+func TestQueryFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"query"}, &buf); err == nil {
+		t.Error("query without -store: want error")
+	}
+	store := filepath.Join(t.TempDir(), "x.acs")
+	var rbuf bytes.Buffer
+	if err := run([]string{
+		"-preset", "slashdot", "-scale", "0.02", "-k", "8",
+		"-cautious", "5", "-runs", "2", "-store", store,
+	}, &rbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"query", "-store", store, "-quantiles", "1.5"}, &buf); err == nil {
+		t.Error("quantile > 1: want error")
+	}
+	if err := run([]string{"query", "-store", store, "-where", "banana=1"}, &buf); err == nil {
+		t.Error("unknown where key: want error")
+	}
+	if err := run([]string{"query", "-store", store, "-where", "network"}, &buf); err == nil {
+		t.Error("malformed where clause: want error")
+	}
+	if err := run([]string{"query", "-store", store, "-policy", "ghost"}, &buf); err == nil {
+		t.Error("unknown policy filter: want error")
+	}
+	if err := run([]string{"-store", "x.acs"}, &buf); err == nil {
+		t.Error("-store on a single run: want error")
+	}
+	if err := run([]string{"-out", "x.json"}, &buf); err == nil {
+		t.Error("-out on a single run: want error")
+	}
+}

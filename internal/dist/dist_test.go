@@ -33,23 +33,25 @@ func testSpec() serv.Spec {
 }
 
 // localReference runs the spec's grid locally, uninterrupted, and
-// returns the canonical digest and record count — the contract every
-// distributed execution must reproduce bit for bit.
-func localReference(t *testing.T, spec serv.Spec) (string, int) {
+// returns the canonical digest, record count and summary — the contract
+// every distributed execution must reproduce bit for bit.
+func localReference(t *testing.T, spec serv.Spec) (string, int, *sim.Summary) {
 	t.Helper()
 	protocol, factories, err := spec.Build(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dig := sim.NewRecordDigest()
+	sum := sim.NewSummary(nil)
 	records := 0
 	if err := sim.Run(context.Background(), protocol, factories, func(rec sim.Record) {
 		dig.Collect(rec)
+		sum.Collect(rec)
 		records++
 	}); err != nil {
 		t.Fatal(err)
 	}
-	return dig.Sum(), records
+	return dig.Sum(), records, sum
 }
 
 // newTestCoordinator builds a coordinator over t.TempDir with a short
@@ -84,7 +86,7 @@ func counterValue(reg *obs.Registry, name string) int64 {
 // digest as one uninterrupted local run.
 func TestDistributedDigestMatchesLocal(t *testing.T) {
 	spec := testSpec()
-	wantDigest, wantRecords := localReference(t, spec)
+	wantDigest, wantRecords, wantSummary := localReference(t, spec)
 
 	reg := obs.New()
 	coord, srv := newTestCoordinator(t, spec, 2, 30*time.Second, reg)
@@ -140,6 +142,20 @@ func TestDistributedDigestMatchesLocal(t *testing.T) {
 		if pr.FinalBenefit.Count != int64(spec.Networks*spec.Runs) {
 			t.Errorf("%s: final count %d", pr.Policy, pr.FinalBenefit.Count)
 		}
+		// The quantile sketches must be BYTE-identical to the local
+		// uninterrupted run — the reproducibility contract the sketch's
+		// canonical coarsening provides and the dist e2e script checks.
+		want, err := json.Marshal(wantSummary.FinalBenefitSketch(pr.Policy).Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(pr.FinalBenefitSketch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: distributed final-benefit sketch diverged from local:\n got %s\nwant %s", pr.Policy, got, want)
+		}
 	}
 	// The status endpoint agrees.
 	st := coord.Status()
@@ -191,7 +207,7 @@ func TestAbandonedLeaseReassigned(t *testing.T) {
 // as a duplicate.
 func TestDuplicateCommitRace(t *testing.T) {
 	spec := testSpec()
-	wantDigest, wantRecords := localReference(t, spec)
+	wantDigest, wantRecords, _ := localReference(t, spec)
 	reg := obs.New()
 	_, srv := newTestCoordinator(t, spec, spec.Networks*spec.Runs, time.Minute, reg)
 
@@ -285,7 +301,7 @@ func TestDuplicateCommitRace(t *testing.T) {
 // and checks the digest still matches the local reference.
 func TestChaosStallDigestStable(t *testing.T) {
 	spec := testSpec()
-	wantDigest, _ := localReference(t, spec)
+	wantDigest, _, _ := localReference(t, spec)
 	coord, srv := newTestCoordinator(t, spec, 2, 30*time.Second, obs.New())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -316,7 +332,7 @@ func TestChaosStallDigestStable(t *testing.T) {
 // the final digest matches the local reference.
 func TestCoordinatorResume(t *testing.T) {
 	spec := testSpec()
-	wantDigest, wantRecords := localReference(t, spec)
+	wantDigest, wantRecords, _ := localReference(t, spec)
 	dir := t.TempDir()
 
 	coord, err := New(Config{Spec: spec, Dir: dir, RangeSize: 2, Logf: t.Logf})

@@ -73,7 +73,11 @@ func Fig2(ctx context.Context, cfg Config) (*Report, error) {
 				ordered = append(ordered, curve)
 			}
 		}
-		tables = append(tables, stats.SeriesTable(name, "k", ordered))
+		tab, err := stats.SeriesTable(name, "k", ordered)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig2 %s: %w", name, err)
+		}
+		tables = append(tables, tab)
 		notes = append(notes, shapeNoteFig2(name, ordered)...)
 	}
 	return newReport("fig2", "Total benefit vs number of friend requests", tables, notes), nil

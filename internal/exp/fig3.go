@@ -65,7 +65,11 @@ func Fig3(ctx context.Context, cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig3 %s: %w", name, err)
 		}
-		tables = append(tables, stats.SeriesTable(name, "k", []*stats.Series{total, cautious, reckless}))
+		tab, err := stats.SeriesTable(name, "k", []*stats.Series{total, cautious, reckless})
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig3 %s: %w", name, err)
+		}
+		tables = append(tables, tab)
 
 		// Shape note: does a later bucket beat an earlier one (the
 		// non-concave segment caused by courting cautious users)?

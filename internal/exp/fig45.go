@@ -84,7 +84,11 @@ func Fig4(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	notes = append(notes, fmt.Sprintf("%s: cautious friends monotone in wI: %v", dataset, monotone))
 
-	tables := []stats.Table{stats.SeriesTable(dataset, "wI", []*stats.Series{benefit, cautious})}
+	tab, err := stats.SeriesTable(dataset, "wI", []*stats.Series{benefit, cautious})
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig4 %s: %w", dataset, err)
+	}
+	tables := []stats.Table{tab}
 	return newReport("fig4", fmt.Sprintf("Benefit and cautious friends vs w_I (%s)", dataset), tables, notes), nil
 }
 
@@ -169,6 +173,10 @@ func Fig5(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
-	tables := []stats.Table{stats.SeriesTable(dataset+" fraction of requests sent to cautious users", "k", ordered)}
+	tab, err := stats.SeriesTable(dataset+" fraction of requests sent to cautious users", "k", ordered)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig5 %s: %w", dataset, err)
+	}
+	tables := []stats.Table{tab}
 	return newReport("fig5", fmt.Sprintf("Fraction of requests sent to cautious users (%s)", dataset), tables, notes), nil
 }

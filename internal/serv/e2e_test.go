@@ -55,6 +55,14 @@ func TestExecuteJobMatchesDirectRun(t *testing.T) {
 		if pr.FinalBenefit.Count == 0 {
 			t.Errorf("policy %s: empty FinalBenefit aggregate", pr.Policy)
 		}
+		if pr.FinalBenefitSketch.Count != pr.FinalBenefit.Count {
+			t.Errorf("policy %s: sketch count %d != Welford count %d",
+				pr.Policy, pr.FinalBenefitSketch.Count, pr.FinalBenefit.Count)
+		}
+		if pr.CautiousFriendsSketch.Count != pr.CautiousFriends.Count {
+			t.Errorf("policy %s: cautious sketch count %d != Welford count %d",
+				pr.Policy, pr.CautiousFriendsSketch.Count, pr.CautiousFriends.Count)
+		}
 	}
 }
 

@@ -43,11 +43,17 @@ type Progress struct {
 	Total   int64 `json:"total"`
 }
 
-// PolicyResult is one policy's aggregated outcome over the grid.
+// PolicyResult is one policy's aggregated outcome over the grid. The
+// sketch snapshots carry the p50/p90/p99 quantiles; unlike the Welford
+// fields (whose merges can differ in the last float bits depending on
+// fold order), they serialize byte-identically for any merge order or
+// partition of the same record set.
 type PolicyResult struct {
-	Policy          string                `json:"policy"`
-	FinalBenefit    stats.WelfordSnapshot `json:"finalBenefit"`
-	CautiousFriends stats.WelfordSnapshot `json:"cautiousFriends"`
+	Policy                string                `json:"policy"`
+	FinalBenefit          stats.WelfordSnapshot `json:"finalBenefit"`
+	CautiousFriends       stats.WelfordSnapshot `json:"cautiousFriends"`
+	FinalBenefitSketch    stats.SketchSnapshot  `json:"finalBenefitSketch"`
+	CautiousFriendsSketch stats.SketchSnapshot  `json:"cautiousFriendsSketch"`
 }
 
 // Result is a finished job's payload: per-policy statistics over every
@@ -63,8 +69,8 @@ type Result struct {
 	Digest string `json:"digest"`
 	// FailedCells counts cells abandoned under ContinueOnError; Warning
 	// carries their joined message. Both are zero/empty on a clean grid.
-	FailedCells int    `json:"failedCells,omitempty"`
-	Warning     string `json:"warning,omitempty"`
+	FailedCells int            `json:"failedCells,omitempty"`
+	Warning     string         `json:"warning,omitempty"`
 	Policies    []PolicyResult `json:"policies"`
 }
 

@@ -15,9 +15,11 @@ func BuildResult(records int, digest *sim.RecordDigest, summary *sim.Summary) *R
 	}
 	for _, policy := range summary.Policies() {
 		res.Policies = append(res.Policies, PolicyResult{
-			Policy:          policy,
-			FinalBenefit:    summary.FinalBenefit(policy).Snapshot(),
-			CautiousFriends: summary.CautiousFriends(policy).Snapshot(),
+			Policy:                policy,
+			FinalBenefit:          summary.FinalBenefit(policy).Snapshot(),
+			CautiousFriends:       summary.CautiousFriends(policy).Snapshot(),
+			FinalBenefitSketch:    summary.FinalBenefitSketch(policy).Snapshot(),
+			CautiousFriendsSketch: summary.CautiousFriendsSketch(policy).Snapshot(),
 		})
 	}
 	return res

@@ -2,10 +2,22 @@ package sim
 
 import (
 	"context"
+	"encoding/json"
 	"testing"
 
 	"github.com/accu-sim/accu/internal/core"
+	"github.com/accu-sim/accu/internal/stats"
 )
+
+// sketchJSON serializes a sketch snapshot for byte-level comparison.
+func sketchJSON(t *testing.T, sk *stats.Sketch) string {
+	t.Helper()
+	b, err := json.Marshal(sk.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
 
 func TestSummaryAggregates(t *testing.T) {
 	p := testProtocol()
@@ -102,6 +114,27 @@ func TestSummaryMerge(t *testing.T) {
 				t.Errorf("%s: curve[%d] = %v, want %v", name, i, mm[i], wm[i])
 			}
 		}
+
+		// Sketch snapshots, unlike the Welford fields above, must be
+		// BYTE-identical between the single-stream and merged summaries —
+		// the reproducibility contract accudist's e2e check relies on.
+		if got, want := sketchJSON(t, merged.FinalBenefitSketch(name)), sketchJSON(t, whole.FinalBenefitSketch(name)); got != want {
+			t.Errorf("%s: final-benefit sketch diverged under merge:\n got %s\nwant %s", name, got, want)
+		}
+		if got, want := sketchJSON(t, merged.CautiousFriendsSketch(name)), sketchJSON(t, whole.CautiousFriendsSketch(name)); got != want {
+			t.Errorf("%s: cautious-friends sketch diverged under merge", name)
+		}
+		wsnap, msnap := wc.Snapshot(), mc.Snapshot()
+		if len(msnap.Sketches) != len(wsnap.Sketches) || len(wsnap.Sketches) != wc.Len() {
+			t.Fatalf("%s: curve sketch count = %d, want %d", name, len(msnap.Sketches), wc.Len())
+		}
+		for i := range wsnap.Sketches {
+			got, _ := json.Marshal(msnap.Sketches[i])
+			want, _ := json.Marshal(wsnap.Sketches[i])
+			if string(got) != string(want) {
+				t.Errorf("%s: curve sketch[%d] diverged under merge", name, i)
+			}
+		}
 	}
 
 	// Curve presence must match on both sides.
@@ -124,6 +157,56 @@ func TestSummaryMerge(t *testing.T) {
 	for _, name := range whole.Policies() {
 		if empty.FinalBenefit(name).Count() != whole.FinalBenefit(name).Count() {
 			t.Errorf("%s: adopted count mismatch", name)
+		}
+	}
+}
+
+// TestSummaryCheckpointZero is the regression test for the
+// benefitAtStep panic: a checkpoint at request 0 used to index
+// steps[-1] whenever the trace was non-empty. No requests have been
+// sent at checkpoint 0, so it must read 0.
+func TestSummaryCheckpointZero(t *testing.T) {
+	sum := NewSummary([]int{0, 2})
+	sum.Collect(Record{
+		Policy: "abm",
+		Result: &core.Result{
+			Steps: []core.Step{
+				{BenefitAfter: 1.5},
+				{BenefitAfter: 3.0},
+			},
+			Benefit: 3.0,
+		},
+	})
+	curve := sum.Curve("abm")
+	if curve == nil || curve.Len() != 2 {
+		t.Fatalf("curve = %v", curve)
+	}
+	means := curve.Means()
+	if means[0] != 0 {
+		t.Errorf("benefit at checkpoint 0 = %v, want 0", means[0])
+	}
+	if means[1] != 3.0 {
+		t.Errorf("benefit at checkpoint 2 = %v, want 3", means[1])
+	}
+
+	// Direct unit coverage of the guard, including negative checkpoints
+	// and short/empty traces.
+	steps := []core.Step{{BenefitAfter: 2}, {BenefitAfter: 5}}
+	for _, tc := range []struct {
+		steps []core.Step
+		c     int
+		want  float64
+	}{
+		{steps, 0, 0},
+		{steps, -1, 0},
+		{steps, 1, 2},
+		{steps, 2, 5},
+		{steps, 99, 5},
+		{nil, 0, 0},
+		{nil, 3, 0},
+	} {
+		if got := benefitAtStep(tc.steps, tc.c); got != tc.want {
+			t.Errorf("benefitAtStep(len %d, %d) = %v, want %v", len(tc.steps), tc.c, got, tc.want)
 		}
 	}
 }

@@ -28,11 +28,20 @@ func (t Table) Render() string {
 }
 
 // SeriesTable converts aligned series into a Table: first column is the
-// x position, then one "mean ± ci" column per series.
-func SeriesTable(name, xName string, series []*Series) Table {
+// x position, then one "mean ± ci" column per series. All series must
+// accumulate over identical x positions: iterating series[0]'s axis
+// over a shorter series would panic at At(i) and a longer one would
+// silently drop its tail points, so any mismatch fails loudly with
+// ErrMismatchedAxes, like Series.Merge.
+func SeriesTable(name, xName string, series []*Series) (Table, error) {
 	t := Table{Name: name, Header: []string{xName}}
 	if len(series) == 0 {
-		return t
+		return t, nil
+	}
+	for _, s := range series[1:] {
+		if err := matchAxis("x", series[0].xs, s.xs); err != nil {
+			return Table{}, fmt.Errorf("%w: series %q vs %q: %v", ErrMismatchedAxes, series[0].Label, s.Label, err)
+		}
 	}
 	for _, s := range series {
 		t.Header = append(t.Header, s.Label)
@@ -46,7 +55,7 @@ func SeriesTable(name, xName string, series []*Series) Table {
 		}
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
 }
 
 // GridTable converts a heat-map grid into a Table of cell means.
@@ -86,7 +95,14 @@ func RenderTable(header []string, rows [][]string) string {
 			if i > 0 {
 				sb.WriteString("  ")
 			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			// A ragged row can carry more cells than the header; the
+			// width table only covers header columns, so the surplus
+			// cells render unpadded instead of indexing past widths.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", w, cell)
 		}
 		sb.WriteByte('\n')
 	}
@@ -104,28 +120,18 @@ func RenderTable(header []string, rows [][]string) string {
 	return sb.String()
 }
 
-// RenderSeries renders one or more series sharing x positions as a table:
-// the first column is x, then one "mean ± ci" column per series.
-func RenderSeries(xName string, series []*Series) string {
+// RenderSeries renders one or more series sharing x positions as a
+// table: the first column is x, then one "mean ± ci" column per series.
+// Like SeriesTable, mismatched axes fail loudly with ErrMismatchedAxes.
+func RenderSeries(xName string, series []*Series) (string, error) {
 	if len(series) == 0 {
-		return ""
+		return "", nil
 	}
-	header := make([]string, 0, len(series)+1)
-	header = append(header, xName)
-	for _, s := range series {
-		header = append(header, s.Label)
+	t, err := SeriesTable("", xName, series)
+	if err != nil {
+		return "", err
 	}
-	rows := make([][]string, 0, series[0].Len())
-	for i := 0; i < series[0].Len(); i++ {
-		row := make([]string, 0, len(header))
-		row = append(row, trimFloat(series[0].X(i)))
-		for _, s := range series {
-			acc := s.At(i)
-			row = append(row, formatMeanCI(acc.Mean(), acc.CI95()))
-		}
-		rows = append(rows, row)
-	}
-	return RenderTable(header, rows)
+	return RenderTable(t.Header, t.Rows), nil
 }
 
 // RenderGrid renders a heat-map grid as a table of cell means: rows ×
@@ -148,13 +154,22 @@ func RenderGrid(g *Grid) string {
 	return RenderTable(header, rows)
 }
 
-// formatMeanCI renders "mean ± ci" with precision adapted to magnitude so
-// small fractions (e.g. Fig. 5's request shares) stay visible.
+// formatMeanCI renders "mean ± ci" with the precision of each part
+// adapted to its own magnitude, so small fractions (e.g. Fig. 5's
+// request shares) stay visible. Precision used to follow the mean
+// alone, which rendered a mean of 5.0 with ci 0.04 as "5.0 ±0.0" —
+// indistinguishable from zero uncertainty.
 func formatMeanCI(mean, ci float64) string {
-	if mean != 0 && mean < 1 && mean > -1 {
-		return fmt.Sprintf("%.3f ±%.3f", mean, ci)
+	return formatMagnitude(mean) + " ±" + formatMagnitude(ci)
+}
+
+// formatMagnitude formats one statistic: three decimals for nonzero
+// sub-1 magnitudes, one decimal otherwise.
+func formatMagnitude(x float64) string {
+	if x != 0 && x < 1 && x > -1 {
+		return fmt.Sprintf("%.3f", x)
 	}
-	return fmt.Sprintf("%.1f ±%.1f", mean, ci)
+	return fmt.Sprintf("%.1f", x)
 }
 
 // trimFloat formats a float compactly (integers without decimals).

@@ -2,8 +2,13 @@ package stats
 
 // WelfordSnapshot is the JSON-marshalable view of one accumulator: the
 // derived statistics a results API returns without exposing the mutable
-// accumulator itself. Mean/Std carry the full float64 precision so two
-// snapshots of identical record sets marshal to identical bytes.
+// accumulator itself. Every derived field — Mean, Variance, Std,
+// StdErr and CI95 alike — carries the full float64 precision, so two
+// snapshots of accumulators in identical states marshal to identical
+// bytes. (Note the claim is over accumulator states: Welford merges
+// folded in a different order can differ from a single-stream
+// accumulation in the last few bits. The Sketch snapshot, by contrast,
+// is byte-stable under any merge order.)
 type WelfordSnapshot struct {
 	Count    int64   `json:"count"`
 	Mean     float64 `json:"mean"`
@@ -26,11 +31,14 @@ func (w *Welford) Snapshot() WelfordSnapshot {
 }
 
 // SeriesSnapshot is the JSON-marshalable view of a Series: one point
-// snapshot per x position, in axis order.
+// snapshot per x position, in axis order. Sketches is present (same
+// length and order as Points) only for series built with
+// NewSeriesSketched.
 type SeriesSnapshot struct {
-	Label  string            `json:"label"`
-	Xs     []float64         `json:"xs"`
-	Points []WelfordSnapshot `json:"points"`
+	Label    string            `json:"label"`
+	Xs       []float64         `json:"xs"`
+	Points   []WelfordSnapshot `json:"points"`
+	Sketches []SketchSnapshot  `json:"sketches,omitempty"`
 }
 
 // Snapshot captures the series' per-position statistics.
@@ -42,6 +50,12 @@ func (s *Series) Snapshot() SeriesSnapshot {
 	}
 	for i := range s.accs {
 		out.Points[i] = s.accs[i].Snapshot()
+	}
+	if s.sketches != nil {
+		out.Sketches = make([]SketchSnapshot, len(s.sketches))
+		for i := range s.sketches {
+			out.Sketches[i] = s.sketches[i].Snapshot()
+		}
 	}
 	return out
 }

@@ -78,12 +78,16 @@ func (w *Welford) StdErr() float64 {
 func (w *Welford) CI95() float64 { return 1.96 * w.StdErr() }
 
 // Series is a sequence of x-positions each accumulating y observations —
-// one benefit-vs-k curve, for example. Construct with NewSeries.
+// one benefit-vs-k curve, for example. Construct with NewSeries, or
+// NewSeriesSketched to also track per-position quantile sketches.
 type Series struct {
 	// Label names the curve (e.g. the policy name).
 	Label string
 	xs    []float64
 	accs  []Welford
+	// sketches is nil for a plain series; when present it holds one
+	// quantile sketch per x position, fed by the same Add calls.
+	sketches []*Sketch
 }
 
 // NewSeries creates a series over the given x positions.
@@ -95,6 +99,18 @@ func NewSeries(label string, xs []float64) *Series {
 	}
 }
 
+// NewSeriesSketched creates a series that additionally accumulates a
+// mergeable quantile sketch at every x position, for p50/p90/p99
+// reporting at O(centroids) memory per position.
+func NewSeriesSketched(label string, xs []float64) *Series {
+	s := NewSeries(label, xs)
+	s.sketches = make([]*Sketch, len(s.xs))
+	for i := range s.sketches {
+		s.sketches[i] = NewSketch()
+	}
+	return s
+}
+
 // Len returns the number of x positions.
 func (s *Series) Len() int { return len(s.xs) }
 
@@ -102,22 +118,49 @@ func (s *Series) Len() int { return len(s.xs) }
 func (s *Series) X(i int) float64 { return s.xs[i] }
 
 // Add folds an observation into position i.
-func (s *Series) Add(i int, y float64) { s.accs[i].Add(y) }
+func (s *Series) Add(i int, y float64) {
+	s.accs[i].Add(y)
+	if s.sketches != nil {
+		s.sketches[i].Add(y)
+	}
+}
 
 // At returns the accumulator at position i.
 func (s *Series) At(i int) *Welford { return &s.accs[i] }
+
+// SketchAt returns the quantile sketch at position i, or nil for a
+// series built without sketches.
+func (s *Series) SketchAt(i int) *Sketch {
+	if s.sketches == nil {
+		return nil
+	}
+	return s.sketches[i]
+}
+
+// Sketched reports whether the series tracks per-position sketches.
+func (s *Series) Sketched() bool { return s.sketches != nil }
 
 // Merge folds another series into this one. The two series must
 // accumulate over identical x positions: a silent range over only the
 // receiver's accumulators would drop a longer other side's tail
 // observations (and panic on a shorter one), so any mismatch fails
-// loudly with ErrMismatchedAxes instead.
+// loudly with ErrMismatchedAxes instead. Sketch presence must likewise
+// match on both sides — merging a sketched series with a plain one
+// would silently lose the other side's quantile mass.
 func (s *Series) Merge(o *Series) error {
 	if err := matchAxis("x", s.xs, o.xs); err != nil {
 		return fmt.Errorf("%w: series %q vs %q: %v", ErrMismatchedAxes, s.Label, o.Label, err)
 	}
+	if (s.sketches == nil) != (o.sketches == nil) {
+		return fmt.Errorf("stats: merge series %q vs %q: sketches present on one side only", s.Label, o.Label)
+	}
 	for i := range s.accs {
 		s.accs[i].Merge(o.accs[i])
+	}
+	for i := range s.sketches {
+		if err := s.sketches[i].Merge(o.sketches[i]); err != nil {
+			return fmt.Errorf("stats: merge series %q position %d: %w", s.Label, i, err)
+		}
 	}
 	return nil
 }

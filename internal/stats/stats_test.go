@@ -274,14 +274,38 @@ func TestRenderSeries(t *testing.T) {
 	s1.Add(1, 9)
 	s2.Add(0, 1)
 	s2.Add(1, 2)
-	out := RenderSeries("k", []*Series{s1, s2})
+	out, err := RenderSeries("k", []*Series{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"k", "abm", "random", "10", "20", "5.0", "9.0"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
 	}
-	if RenderSeries("k", nil) != "" {
-		t.Error("empty series list should render empty")
+	if out, err := RenderSeries("k", nil); err != nil || out != "" {
+		t.Errorf("empty series list should render empty: %q, %v", out, err)
+	}
+}
+
+// TestRenderSeriesMismatchedAxes is the regression test for the silent
+// shared-axis assumption: a shorter series used to panic at At(i) and a
+// longer one silently lost its tail points. Both now fail loudly.
+func TestRenderSeriesMismatchedAxes(t *testing.T) {
+	cases := map[string]*Series{
+		"shorter": NewSeries("s", []float64{10}),
+		"longer":  NewSeries("s", []float64{10, 20, 30}),
+		"shifted": NewSeries("s", []float64{10, 25}),
+	}
+	for name, other := range cases {
+		base := NewSeries("base", []float64{10, 20})
+		base.Add(0, 1)
+		if _, err := RenderSeries("k", []*Series{base, other}); !errors.Is(err, ErrMismatchedAxes) {
+			t.Errorf("RenderSeries %s: err = %v, want ErrMismatchedAxes", name, err)
+		}
+		if _, err := SeriesTable("t", "k", []*Series{base, other}); !errors.Is(err, ErrMismatchedAxes) {
+			t.Errorf("SeriesTable %s: err = %v, want ErrMismatchedAxes", name, err)
+		}
 	}
 }
 
@@ -326,7 +350,10 @@ func TestSeriesTable(t *testing.T) {
 	s1 := NewSeries("abm", []float64{10, 20})
 	s1.Add(0, 5)
 	s1.Add(1, 0.25) // sub-1 mean gets 3 decimals
-	tab := SeriesTable("ds", "k", []*Series{s1})
+	tab, err := SeriesTable("ds", "k", []*Series{s1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tab.Name != "ds" || len(tab.Header) != 2 || tab.Header[1] != "abm" {
 		t.Fatalf("table = %+v", tab)
 	}
@@ -336,7 +363,10 @@ func TestSeriesTable(t *testing.T) {
 	if !strings.Contains(tab.Rows[1][1], "0.250") {
 		t.Errorf("small mean lost precision: %v", tab.Rows[1][1])
 	}
-	empty := SeriesTable("x", "k", nil)
+	empty, err := SeriesTable("x", "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(empty.Rows) != 0 || len(empty.Header) != 1 {
 		t.Errorf("empty series table = %+v", empty)
 	}
@@ -367,5 +397,37 @@ func TestFormatMeanCI(t *testing.T) {
 	}
 	if got := formatMeanCI(-0.5, 0.1); got != "-0.500 ±0.100" {
 		t.Errorf("negative small = %q", got)
+	}
+	// Regression: a mean >= 1 with a small nonzero ci used to render
+	// "±0.0" — indistinguishable from zero uncertainty. The ci's
+	// precision now follows its own magnitude.
+	if got := formatMeanCI(5.0, 0.04); got != "5.0 ±0.040" {
+		t.Errorf("large mean small ci = %q, want \"5.0 ±0.040\"", got)
+	}
+	if got := formatMeanCI(1234.5, 0.001); got != "1234.5 ±0.001" {
+		t.Errorf("tiny ci = %q", got)
+	}
+	if got := formatMeanCI(0.02, 3.5); got != "0.020 ±3.5" {
+		t.Errorf("small mean large ci = %q", got)
+	}
+}
+
+// TestRenderTableRaggedRow is the regression test for the
+// index-out-of-range panic: width computation guarded i < len(widths)
+// but writeRow did not, so a row with more cells than the header
+// panicked. Surplus cells now render unpadded.
+func TestRenderTableRaggedRow(t *testing.T) {
+	out := RenderTable([]string{"a", "b"}, [][]string{
+		{"1", "2", "surplus", "more"},
+		{"3"},
+	})
+	for _, want := range []string{"a", "b", "1", "2", "surplus", "more", "3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
 	}
 }

@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeRows creates a store at path holding rows, with small blocks so
+// multi-block paths are exercised.
+func writeRows(t *testing.T, path string, meta map[string]string, rows []StoreRecord, blockRows int) {
+	t.Helper()
+	w, err := CreateStore(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blockRows > 0 {
+		w.BlockRows = blockRows
+	}
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readRows scans every row back.
+func readRows(t *testing.T, path string) ([]StoreRecord, *StoreReader) {
+	t.Helper()
+	r, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []StoreRecord
+	if err := r.Scan(func(rec StoreRecord) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out, r
+}
+
+func testRows(n int) []StoreRecord {
+	rng := rand.New(rand.NewSource(31))
+	policies := []string{"abm", "greedy", "random"}
+	rows := make([]StoreRecord, n)
+	for i := range rows {
+		rows[i] = StoreRecord{
+			Policy:          policies[i%len(policies)],
+			Network:         i % 7,
+			Run:             i / 7,
+			Benefit:         math.Trunc(rng.Float64()*1e6) / 100,
+			CautiousFriends: rng.Intn(12),
+		}
+	}
+	return rows
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.acs")
+	rows := testRows(1000)
+	meta := map[string]string{"preset": "slashdot", "k": "20"}
+	writeRows(t, path, meta, rows, 64) // ~16 blocks
+
+	got, r := readRows(t, path)
+	if len(got) != len(rows) {
+		t.Fatalf("rows = %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i] != rows[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], rows[i])
+		}
+	}
+	if r.Truncated() {
+		t.Error("clean store reported truncated")
+	}
+	if r.Meta()["preset"] != "slashdot" || r.Meta()["k"] != "20" {
+		t.Errorf("meta = %v", r.Meta())
+	}
+}
+
+func TestStoreEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.acs")
+	writeRows(t, path, nil, nil, 0)
+	got, r := readRows(t, path)
+	if len(got) != 0 || r.Truncated() {
+		t.Errorf("rows=%d truncated=%v", len(got), r.Truncated())
+	}
+}
+
+func TestStoreNoClobber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.acs")
+	writeRows(t, path, nil, testRows(3), 0)
+	if _, err := CreateStore(path, nil); err == nil {
+		t.Error("overwriting an existing store should fail")
+	}
+}
+
+func TestStoreAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.acs")
+	w, err := CreateStore(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(StoreRecord{Policy: "abm"}); err == nil {
+		t.Error("append after close should fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+// TestStoreTornTail simulates a writer killed mid-block: the truncated
+// final block must be dropped cleanly, all earlier blocks delivered,
+// and the loss surfaced via Truncated.
+func TestStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.acs")
+	rows := testRows(300)
+	writeRows(t, path, nil, rows, 100) // 3 full blocks
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncating into the header is not a torn tail — the file never
+	// finished being created — and fails at open.
+	headless := filepath.Join(dir, "headless.acs")
+	if err := os.WriteFile(headless, data[:2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(headless); err == nil {
+		t.Error("header-truncated store accepted")
+	}
+
+	for _, cut := range []int{1, 7, len(data)/2 + 3} {
+		torn := filepath.Join(dir, "cut.acs")
+		os.Remove(torn)
+		if cut >= len(data) {
+			continue
+		}
+		if err := os.WriteFile(torn, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenStore(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		n := 0
+		if err := r.Scan(func(StoreRecord) error { n++; return nil }); err != nil {
+			t.Fatalf("cut %d: scan: %v", cut, err)
+		}
+		if !r.Truncated() {
+			t.Errorf("cut %d: torn tail not reported", cut)
+		}
+		if n%100 != 0 || n >= 300 {
+			t.Errorf("cut %d: %d rows survived; want a whole-block prefix", cut, n)
+		}
+		r.Close()
+	}
+}
+
+// TestStoreCorruptBlock flips a payload byte: the CRC must catch it and
+// end the scan at the last good block.
+func TestStoreCorruptBlock(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ok.acs")
+	writeRows(t, path, nil, testRows(200), 100)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-5] ^= 0xff // inside the final block's payload
+	badPath := filepath.Join(dir, "bad.acs")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenStore(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := r.Scan(func(StoreRecord) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 || !r.Truncated() {
+		t.Errorf("rows=%d truncated=%v; want 100 rows and truncated", n, r.Truncated())
+	}
+	r.Close()
+}
+
+func TestStoreBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not.acs")
+	if err := os.WriteFile(path, []byte("hello world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Error("non-store file accepted")
+	}
+}
+
+// TestStoreScanFnError pins that a callback error aborts the scan and
+// propagates verbatim.
+func TestStoreScanFnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.acs")
+	writeRows(t, path, nil, testRows(10), 4)
+	r, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want := os.ErrInvalid
+	n := 0
+	err = r.Scan(func(StoreRecord) error {
+		n++
+		if n == 3 {
+			return want
+		}
+		return nil
+	})
+	if err != want || n != 3 {
+		t.Errorf("err=%v n=%d", err, n)
+	}
+}
+
+// TestStoreSketchFromScan ties store and sketch together: quantiles
+// computed by streaming the store must be byte-identical to quantiles
+// sketched live during collection — the query path's core contract.
+func TestStoreSketchFromScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.acs")
+	rows := testRows(2000)
+	live := NewSketch()
+	for _, r := range rows {
+		live.Add(r.Benefit)
+	}
+	writeRows(t, path, nil, rows, 256)
+	r, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	replayed := NewSketch()
+	if err := r.Scan(func(rec StoreRecord) error {
+		replayed.Add(rec.Benefit)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sketchBytes(t, replayed), sketchBytes(t, live); got != want {
+		t.Errorf("replayed sketch differs from live sketch")
+	}
+}

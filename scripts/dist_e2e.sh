@@ -6,12 +6,16 @@
 # `accurun -digest` of the same protocol, even when a worker is
 # SIGKILLed mid-range and its lease has to expire and reassign.
 #
-#   1. compute the reference digest with `accurun -digest` (no dist)
+#   1. compute the reference digest and result JSON with
+#      `accurun -digest -out` (no dist)
 #   2. start the coordinator with small ranges and a short lease TTL
 #   3. start two workers: wa throttled (the doomed straggler), wb free
 #   4. kill -9 wa while it holds a lease with unfinished cells
 #   5. wb inherits the expired lease; the grid completes
 #   6. assert dist.ranges_reassigned >= 1 and digest == reference
+#   7. assert the distributed per-policy quantile-sketch snapshots are
+#      BYTE-identical to the local run's (the sketch's canonical-merge
+#      guarantee, independent of upload order and partition)
 #
 # Requires: curl, jq. Runs from anywhere inside the repo.
 set -euo pipefail
@@ -57,12 +61,14 @@ log "building binaries"
 go build -o "$WORK/accudist" ./cmd/accudist
 go build -o "$WORK/accurun" ./cmd/accurun
 
-log "computing reference digest with accurun (uninterrupted local run)"
+log "computing reference digest and result with accurun (uninterrupted local run)"
 "$WORK/accurun" -preset "$PRESET" -scale "$SCALE" -cautious "$CAUTIOUS" \
     -policy "$POLICY" -k "$K" -seed "$SEED" -runs "$RUNS" -digest \
+    -out "$WORK/local.json" \
     >"$WORK/reference.txt"
 REF_DIGEST=$(awk '/^digest:/ {print $2}' "$WORK/reference.txt")
 [ -n "$REF_DIGEST" ] || fail "no digest in accurun output"
+[ -f "$WORK/local.json" ] || fail "accurun wrote no -out file"
 log "reference digest: $REF_DIGEST"
 
 log "starting coordinator (range=$RANGE lease=$LEASE)"
@@ -130,6 +136,19 @@ log "dist digest:      $DIST_DIGEST ($RECORDS records, $REASSIGNED range(s) reas
 [ "$REASSIGNED" -ge 1 ] || fail "dist.ranges_reassigned=$REASSIGNED; the killed worker's lease was never reassigned"
 [ "$RECORDS" = "$RUNS" ] || fail "records=$RECORDS, want $RUNS"
 [ "$DIST_DIGEST" = "$REF_DIGEST" ] || fail "digest mismatch: dist $DIST_DIGEST != reference $REF_DIGEST — distributed result is not bit-identical"
+
+# The quantile sketches must survive the kill/reassign chaos byte for
+# byte: for every policy, the distributed finalBenefitSketch snapshot is
+# canonically serialized and compared against the local run's.
+for policy in $(jq -r '.policies[].policy' "$WORK/local.json"); do
+    LOCAL_SK=$(jq -cS ".policies[] | select(.policy == \"$policy\") | .finalBenefitSketch" "$WORK/local.json")
+    DIST_SK=$(jq -cS ".result.policies[] | select(.policy == \"$policy\") | .finalBenefitSketch" "$WORK/out.json")
+    [ -n "$LOCAL_SK" ] || fail "no local finalBenefitSketch for policy $policy"
+    [ "$DIST_SK" = "$LOCAL_SK" ] || fail "policy $policy: distributed quantile sketch differs from local:
+  dist:  $DIST_SK
+  local: $LOCAL_SK"
+    log "policy $policy: quantile sketch byte-identical (p50/p90/p99 $(echo "$LOCAL_SK" | jq -r '"\(.p50)/\(.p90)/\(.p99)"'))"
+done
 
 # wb should observe done=true on its next poll and exit 0 on its own.
 wait "$WB_PID" 2>/dev/null && WB_RC=0 || WB_RC=$?
