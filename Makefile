@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet accuvet vet-fix bench serve service-e2e clean
+.PHONY: all build test race lint vet accuvet vet-fix fix fuzz-smoke bench serve service-e2e clean
 
 all: build test lint
 
@@ -33,7 +33,7 @@ vet:
 accuvet:
 	$(GO) build -o bin/accuvet ./cmd/accuvet
 	$(GO) vet -vettool=$(CURDIR)/bin/accuvet ./...
-	./bin/accuvet -sarif bin/accuvet.sarif -baseline .accuvet-baseline.json ./...
+	./bin/accuvet -sarif bin/accuvet.sarif -baseline .accuvet-baseline.json -wire-lock .accuwire.lock.json ./...
 
 # vet-fix prints every accuvet finding — including ones already covered
 # by an //accu:allow directive, marked "(allowed)" — together with the
@@ -42,6 +42,22 @@ accuvet:
 vet-fix:
 	$(GO) build -o bin/accuvet ./cmd/accuvet
 	./bin/accuvet -suggest ./...
+
+# fix applies the machine-applicable suggested fixes in place (json wire
+# tags, keyed wire literals, time.Tick -> time.NewTicker(d).C), atomically
+# per fix and gofmt-gated per file. Running it twice is a no-op. After a
+# wire-struct change, refresh the committed schema lockfile:
+#   ./bin/accuvet -write-wire-lock .accuwire.lock.json ./...
+fix:
+	$(GO) build -o bin/accuvet ./cmd/accuvet
+	./bin/accuvet -fix ./...
+
+# fuzz-smoke runs each native fuzz target briefly against its committed
+# corpus plus fresh mutations — the decoder surfaces (store block
+# decoder, cell-journal resume) the analyzers cannot reach.
+fuzz-smoke:
+	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzDecodeBlock -fuzztime 10s
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzCellJournalReplay -fuzztime 10s
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

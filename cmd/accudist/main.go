@@ -141,7 +141,12 @@ func run(args []string, out io.Writer) error {
 
 	select {
 	case err := <-serveErr:
-		coord.Close()
+		// The close error still matters on this path: it is the last
+		// fsync of the cell journal, and a swallowed failure would let
+		// -resume silently re-run cells that were reported durable.
+		if cerr := coord.Close(); cerr != nil {
+			return fmt.Errorf("serve: %w (journal close: %v)", err, cerr)
+		}
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 		logger.Printf("signal received; journal is durable, restart with -resume to continue")

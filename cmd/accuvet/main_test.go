@@ -57,7 +57,7 @@ func Stamp() int64 { return time.Now().UnixNano() }
 	}
 }
 
-// TestListAnalyzers: -list names all fourteen analyzers.
+// TestListAnalyzers: -list names all nineteen analyzers.
 func TestListAnalyzers(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
@@ -67,6 +67,7 @@ func TestListAnalyzers(t *testing.T) {
 		"detrand", "maporder", "seedflow", "metricname",
 		"lockbalance", "atomicmix", "ctxcancel", "scratchescape", "errcmp",
 		"httpbody", "respwrite", "lockedio", "ctxflow", "timerleak",
+		"detflow", "errdrop", "fsyncack", "wiretag", "chanleak",
 	}
 	for _, name := range names {
 		if !strings.Contains(stdout.String(), name) {
@@ -212,6 +213,9 @@ func TestBaselineRatchet(t *testing.T) {
 	if code := run([]string{"-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("baselined run exit = %d, want 0 (finding should be absorbed):\n%s", code, stderr.String())
 	}
+	if out := stderr.String(); !strings.Contains(out, "0 new, 0 fixed, 0 suppressed") {
+		t.Errorf("missing ratchet summary in baselined run stderr:\n%s", out)
+	}
 
 	// A new violation — same analyzer, different site/message — must
 	// still fail: the baseline fingerprint is (file, analyzer, message).
@@ -236,6 +240,234 @@ func Elapsed() time.Time { return time.Now() }
 	}
 	if strings.Contains(out, "bad.go") {
 		t.Errorf("baselined finding leaked into output:\n%s", out)
+	}
+	if !strings.Contains(out, "1 new, 0 fixed") {
+		t.Errorf("ratchet summary should count the new finding:\n%s", out)
+	}
+}
+
+// TestWriteBaselineShrinkGuard: re-snapshotting over a baseline with
+// fewer findings (here: a run over a subset of packages) is refused
+// without -force, so partial runs cannot wipe ratchet state.
+func TestWriteBaselineShrinkGuard(t *testing.T) {
+	dir := writeViolationModule(t)
+	base := filepath.Join(dir, "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d: %s", code, stderr.String())
+	}
+	before, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fix the violation: the next snapshot would shrink from 1 to 0.
+	bad := filepath.Join(dir, "internal", "core", "bad.go")
+	if err := os.WriteFile(bad, []byte("package core\n\n// Stamp is fixed.\nfunc Stamp() int64 { return 0 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-write-baseline", base, "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("shrinking -write-baseline exit = %d, want 2 (refused)\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "refusing to shrink baseline") {
+		t.Errorf("missing refusal message:\n%s", stderr.String())
+	}
+	after, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("refused write still modified the baseline file")
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-write-baseline", base, "-force", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline -force exit = %d: %s", code, stderr.String())
+	}
+	var b analysis.Baseline
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() != 0 {
+		t.Errorf("forced baseline absorbs %d findings, want 0", b.Total())
+	}
+}
+
+// writeTickModule lays out a throwaway module with a time.Tick call —
+// the finding whose fix is machine-applicable — and chdirs into it.
+func writeTickModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	pkg := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(dir, "go.mod"): "module example.test\n\ngo 1.22\n",
+		filepath.Join(pkg, "tick.go"): `package sim
+
+import "time"
+
+// Poll wakes on a leaked ticker.
+func Poll(stop chan struct{}) {
+	for {
+		select {
+		case <-time.Tick(time.Second):
+		case <-stop:
+			return
+		}
+	}
+}
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	return dir
+}
+
+// TestFixMode: -fix rewrites time.Tick to time.NewTicker(d).C, leaves
+// the tree finding-free, and a second -fix run is a no-op.
+func TestFixMode(t *testing.T) {
+	dir := writeTickModule(t)
+	tick := filepath.Join(dir, "internal", "sim", "tick.go")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fix", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-fix exit = %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "applied 1 fix(es)") {
+		t.Errorf("missing fix summary:\n%s", stderr.String())
+	}
+	data, err := os.ReadFile(tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "time.NewTicker(time.Second).C") {
+		t.Fatalf("fix not applied:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("post-fix plain run exit = %d, want 0 (finding resolved)\n%s", code, stderr.String())
+	}
+
+	// Idempotency: nothing left to apply, file untouched.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-fix", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -fix exit = %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "applied 0 fix(es)") {
+		t.Errorf("second -fix was not a no-op:\n%s", stderr.String())
+	}
+	again, err := os.ReadFile(tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("second -fix rewrote the file")
+	}
+}
+
+// TestFixSuggestMode: -fix -suggest inserts an //accu:allow directive
+// above a finding that has no code fix, suppressing it on the next run.
+func TestFixSuggestMode(t *testing.T) {
+	writeViolationModule(t)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fix", "-suggest", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-fix -suggest exit = %d\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(filepath.Join("internal", "core", "bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "//accu:allow detrand -- TODO") {
+		t.Fatalf("directive not inserted:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("post-insert plain run exit = %d, want 0 (finding allowed)\n%s", code, stderr.String())
+	}
+}
+
+// TestWireLock drives the lockfile cycle on a throwaway module: snapshot
+// the //accu:wire schemas, verify a clean diff, then rename a wire field
+// and assert the drift fails the run.
+func TestWireLock(t *testing.T) {
+	dir := t.TempDir()
+	pkg := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	wire := filepath.Join(pkg, "wire.go")
+	files := map[string]string{
+		filepath.Join(dir, "go.mod"): "module example.test\n\ngo 1.22\n",
+		wire: `package sim
+
+// Line is one journal record.
+//
+//accu:wire
+type Line struct {
+	Cell  string ` + "`json:\"cell\"`" + `
+	Count int    ` + "`json:\"count\"`" + `
+}
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	lock := filepath.Join(dir, "wire.lock.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-wire-lock", lock, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-wire-lock exit = %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"example.test/internal/sim"`) || !strings.Contains(string(data), `"cell"`) {
+		t.Fatalf("lockfile missing schema:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-wire-lock", lock, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean -wire-lock exit = %d\n%s", code, stderr.String())
+	}
+
+	// A wire rename: same Go field, new json name. The analyzer cannot
+	// see it (the tag is still explicit and unique); the lockfile must.
+	renamed := strings.Replace(string(files[wire]), `json:"count"`, `json:"n"`, 1)
+	if err := os.WriteFile(wire, []byte(renamed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-wire-lock", lock, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("drifted -wire-lock exit = %d, want 1\n%s", code, stderr.String())
+	}
+	if out := stderr.String(); !strings.Contains(out, "wire drift") || !strings.Contains(out, `"count" -> "n"`) {
+		t.Errorf("missing drift detail:\n%s", out)
 	}
 }
 
@@ -295,8 +527,8 @@ func TestSARIFOutput(t *testing.T) {
 	if r.Tool.Driver.Name != "accuvet" {
 		t.Errorf("driver name = %q", r.Tool.Driver.Name)
 	}
-	if len(r.Tool.Driver.Rules) != 14 {
-		t.Errorf("rules table has %d entries, want 14 (one per analyzer)", len(r.Tool.Driver.Rules))
+	if len(r.Tool.Driver.Rules) != 19 {
+		t.Errorf("rules table has %d entries, want 19 (one per analyzer)", len(r.Tool.Driver.Rules))
 	}
 	if len(r.Results) == 0 {
 		t.Fatal("no results in SARIF log for a module with a violation")

@@ -54,6 +54,33 @@ type Diagnostic struct {
 	// The checkers drop suppressed findings; RunAnalyzersAll keeps them
 	// so audits and regression tests can pin the allowed sites.
 	Suppressed bool
+
+	// SuggestedFixes are source edits that would resolve the finding.
+	// Fixes marked MachineApplicable are safe to apply without human
+	// review and are what `accuvet -fix` applies; advisory fixes are
+	// carried through to the SARIF log only.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one candidate resolution of a diagnostic: a set of
+// non-overlapping text edits applied together.
+type SuggestedFix struct {
+	// Message describes the fix ("add explicit json tag").
+	Message string
+	// Edits are the source changes, in any order; the applier sorts and
+	// rejects overlaps.
+	Edits []TextEdit
+	// MachineApplicable marks a fix that is behavior-preserving by
+	// construction and safe for unattended application.
+	MachineApplicable bool
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText. A
+// zero-width range (End == Pos) is an insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -76,11 +103,17 @@ type Pass struct {
 // //accu:allow directive are recorded with Suppressed set; the checkers
 // filter them out, audit mode keeps them.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFix(pos, nil, format, args...)
+}
+
+// ReportfFix is Reportf with suggested fixes attached to the finding.
+func (p *Pass) ReportfFix(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
 	*p.diagnostics = append(*p.diagnostics, Diagnostic{
-		Pos:        pos,
-		Analyzer:   p.Analyzer.Name,
-		Message:    fmt.Sprintf(format, args...),
-		Suppressed: p.allow.covers(p.Fset, pos, p.Analyzer.Name),
+		Pos:            pos,
+		Analyzer:       p.Analyzer.Name,
+		Message:        fmt.Sprintf(format, args...),
+		Suppressed:     p.allow.covers(p.Fset, pos, p.Analyzer.Name),
+		SuggestedFixes: fixes,
 	})
 }
 

@@ -115,6 +115,60 @@ func (b *Baseline) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic 
 	return out
 }
 
+// Total returns the number of findings the baseline absorbs (the sum of
+// entry counts) — the quantity the ratchet drives toward zero.
+func (b *Baseline) Total() int {
+	n := 0
+	for _, e := range b.Findings {
+		n += e.Count
+	}
+	return n
+}
+
+// BaselineDiff is the ratchet report for one run against a baseline.
+type BaselineDiff struct {
+	// New counts unsuppressed findings the baseline does not absorb —
+	// the ones that fail the build.
+	New int
+	// Fixed counts baseline budget left unconsumed: tolerated findings
+	// that no longer occur. Nonzero Fixed means the baseline can shrink;
+	// re-snapshot with -write-baseline to bank the progress.
+	Fixed int
+	// Suppressed counts findings an //accu:allow directive covers in
+	// this run; they never touch baseline budget.
+	Suppressed int
+}
+
+// Diff replays Filter's budget accounting but keeps the totals instead
+// of the survivors, so the driver can narrate the ratchet (new / fixed /
+// suppressed) rather than only pass/fail.
+func (b *Baseline) Diff(fset *token.FileSet, diags []Diagnostic) BaselineDiff {
+	budget := make(map[BaselineEntry]int, len(b.Findings))
+	for _, e := range b.Findings {
+		key := e
+		key.Count = 0
+		budget[key] += e.Count
+	}
+	var d BaselineDiff
+	for _, diag := range diags {
+		if diag.Suppressed {
+			d.Suppressed++
+			continue
+		}
+		pos := fset.Position(diag.Pos)
+		key := BaselineEntry{File: sarifURI(pos.Filename), Analyzer: diag.Analyzer, Message: diag.Message}
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		d.New++
+	}
+	for _, left := range budget {
+		d.Fixed += left
+	}
+	return d
+}
+
 // Write renders the baseline as stable, indented JSON suitable for
 // committing.
 func (b *Baseline) Write(w io.Writer) error {

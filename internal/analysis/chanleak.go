@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanLeak returns the blocked-sender goroutine-leak analyzer: a
+// goroutine that sends on an unbuffered channel leaks forever when the
+// spawning function can reach its exit without receiving — the classic
+// timed-handoff bug, where the timeout arm of a select returns early and
+// the worker goroutine blocks on send for the life of the process.
+//
+// The check is deliberately narrow so every report is actionable:
+//
+//   - Only channels made locally with `make(chan T)` (unbuffered) are
+//     tracked. A buffer of one is the sanctioned fix for the handoff
+//     shape — the sender completes regardless (sim.go's timed-attempt
+//     goroutine) — so buffered channels are exempt by construction.
+//   - A channel that escapes the function — passed to a call, returned,
+//     stored, sent over another channel, or aliased — is exempt: the
+//     receiver may live anywhere. So is a channel some goroutine
+//     receives from (worker pools consume in the workers; cross-
+//     goroutine ordering is out of scope).
+//   - A send inside a select with another ready arm (a second case or a
+//     default) is guarded: the sender can bail, no leak.
+//
+// What remains: a `go` statement whose function literal sends
+// unconditionally on the tracked channel. That spawn generates a
+// pending-send fact in the spawner's CFG; a receive (`<-ch`, `range
+// ch`, a select receive case) kills it on the paths through it. A fact
+// that survives to function exit is a path the spawner completes
+// without ever receiving — reported at the `go` statement.
+//
+// Intentional fire-and-forget sends are the audited exception:
+// //accu:allow chanleak -- <why>.
+func ChanLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "chanleak",
+		Doc: "flag goroutines that can block forever sending on an unbuffered " +
+			"channel the spawning function does not receive from on every path",
+	}
+	a.Run = func(pass *Pass) error {
+		funcBodies(pass.Files, func(_ ast.Node, body *ast.BlockStmt) {
+			checkChanLeak(pass, body)
+		})
+		return nil
+	}
+	return a
+}
+
+// pendingSend marks "a goroutine spawned at pos is blocked sending on ch
+// until this function receives".
+type pendingSend struct{ ch types.Object }
+
+func checkChanLeak(pass *Pass, body *ast.BlockStmt) {
+	chans := localUnbufferedChans(pass, body)
+	if len(chans) == 0 {
+		return
+	}
+	pruneEscapedChans(pass, body, chans)
+	if len(chans) == 0 {
+		return
+	}
+
+	cfg := NewCFG(body)
+	transfer := func(n ast.Node, facts Facts) {
+		walkBlockNode(n, false, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					for ch := range chans {
+						if hasUnguardedSend(pass, lit.Body, ch) {
+							if _, have := facts[pendingSend{ch}]; !have {
+								facts[pendingSend{ch}] = m.Pos()
+							}
+						}
+					}
+				}
+				return false
+			case *ast.UnaryExpr:
+				// <-ch receives: one pending sender completes.
+				if obj := recvChanObj(pass, m); obj != nil {
+					delete(facts, pendingSend{obj})
+				}
+			case *ast.RangeStmt:
+				if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						delete(facts, pendingSend{obj})
+					}
+				}
+			}
+			return true
+		})
+	}
+	_, exit := cfg.ForwardMay(transfer)
+	// Deterministic report order: sort surviving facts by position.
+	type leak struct {
+		ch  types.Object
+		pos token.Pos
+	}
+	var leaks []leak
+	for k, p := range exit {
+		if f, ok := k.(pendingSend); ok {
+			leaks = append(leaks, leak{f.ch, p})
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, l := range leaks {
+		pass.Reportf(l.pos,
+			"goroutine sends on unbuffered channel %s but the spawning function can return without receiving; the sender blocks forever — buffer the channel, guard the send with a select, or receive on every path",
+			l.ch.Name())
+	}
+}
+
+// localUnbufferedChans collects channels defined in this body (outside
+// nested function literals) via `make(chan T)` with no or zero buffer.
+func localUnbufferedChans(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	chans := make(map[types.Object]bool)
+	walkBlockNode(body, false, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			return true
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fid.Name != "make" || pass.Info.Uses[fid] != types.Universe.Lookup("make") {
+			return true
+		}
+		unbuffered := len(call.Args) == 1
+		if len(call.Args) == 2 {
+			if tv, ok := pass.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+				unbuffered = constant.Sign(tv.Value) == 0
+			}
+		}
+		if unbuffered {
+			chans[obj] = true
+		}
+		return true
+	})
+	return chans
+}
+
+// pruneEscapedChans drops channels whose value leaves the analyzed
+// function's hands — used as a call argument, returned, stored, sent,
+// aliased — or that some goroutine receives from (the consumer lives in
+// another goroutine, so spawner-local path reasoning cannot prove a
+// leak).
+func pruneEscapedChans(pass *Pass, body *ast.BlockStmt, chans map[types.Object]bool) {
+	drop := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				delete(chans, obj)
+			}
+		}
+	}
+	var inGo int
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					for _, arg := range m.Call.Args {
+						drop(arg)
+					}
+					inGo++
+					walk(lit.Body)
+					inGo--
+					return false
+				}
+				for _, arg := range m.Call.Args {
+					drop(arg)
+				}
+				drop(m.Call.Fun)
+				return false
+			case *ast.CallExpr:
+				// Channel as ordinary call argument escapes; close(ch) and
+				// make's type argument do not.
+				if fid, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[fid]; obj == types.Universe.Lookup("close") ||
+						obj == types.Universe.Lookup("make") ||
+						obj == types.Universe.Lookup("len") || obj == types.Universe.Lookup("cap") {
+						return true
+					}
+				}
+				for _, arg := range m.Args {
+					drop(arg)
+				}
+			case *ast.ReturnStmt:
+				for _, r := range m.Results {
+					drop(r)
+				}
+			case *ast.SendStmt:
+				drop(m.Value)
+			case *ast.AssignStmt:
+				// Aliasing (x := ch) or storing (s.ch = ch) escapes; the
+				// defining make assignment does not (rhs is the call).
+				for _, r := range m.Rhs {
+					drop(r)
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.AND {
+					drop(m.X)
+				}
+				if inGo > 0 {
+					if obj := recvChanObj(pass, m); obj != nil {
+						delete(chans, obj)
+					}
+				}
+			case *ast.RangeStmt:
+				if inGo > 0 {
+					drop(m.X)
+				}
+			case *ast.CompositeLit:
+				for _, el := range m.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					drop(el)
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// recvChanObj returns the channel object when expr is a receive from a
+// plain identifier (<-ch), else nil.
+func recvChanObj(pass *Pass, expr *ast.UnaryExpr) types.Object {
+	if expr.Op != token.ARROW {
+		return nil
+	}
+	if id, ok := ast.Unparen(expr.X).(*ast.Ident); ok {
+		return pass.Info.Uses[id]
+	}
+	return nil
+}
+
+// hasUnguardedSend reports whether the goroutine body sends on ch
+// outside any select that offers the sender another way out (a second
+// case or a default).
+func hasUnguardedSend(pass *Pass, body *ast.BlockStmt, ch types.Object) bool {
+	found := false
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if found {
+			return false
+		}
+		if send, ok := n.(*ast.SendStmt); ok {
+			if id, ok := ast.Unparen(send.Chan).(*ast.Ident); ok && pass.Info.Uses[id] == ch {
+				if !sendGuarded(stack) {
+					found = true
+					return false
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	}
+	ast.Inspect(body, visit)
+	return found
+}
+
+// sendGuarded reports whether the innermost enclosing select of the
+// send (if any) has an alternative arm.
+func sendGuarded(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if sel, ok := stack[i].(*ast.SelectStmt); ok {
+			return len(sel.Body.List) >= 2
+		}
+	}
+	return false
+}

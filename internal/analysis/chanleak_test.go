@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestChanLeak(t *testing.T) {
+	analysistest.Run(t, analysis.ChanLeak(), analysistest.Fixture{
+		Dir:        "testdata/src/chanleak_sim",
+		ImportPath: "example.test/internal/sim",
+	})
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detflow returns the flow-based determinism analyzer, the wave-4
+// successor to detrand: instead of banning nondeterminism sources
+// outright, it tracks their values through the taint engine (taint.go)
+// and reports only when one reaches a deterministic sink — a digest,
+// sketch or summary input whose bytes the resume/merge invariants pin.
+//
+// This is what makes the timing packages checkable at all: detrand must
+// allow time.Now there (obs spans, profiles, lease TTLs), so a clock
+// read that leaks into a RecordDigest went unflagged before this wave.
+// Detflow closes that hole: in both the strict and timing packages, a
+// value derived from the clock, the environment, the global math/rand
+// generators, or map iteration order must never feed
+//
+//	(sim.RecordDigest).Collect   — the bit-identity record-set digest
+//	(sim.Summary).Collect        — the mergeable result summary
+//	(stats.Sketch).Add           — the byte-identical quantile sketch
+//	(stats.Welford).Add          — the streaming moments accumulator
+//	(stats.Series).Add           — the checkpoint-curve accumulator
+//
+// Diagnostics carry the bounded witness chain ("d ← jitter ← time.Now")
+// so the provenance is readable without re-deriving the flow by hand.
+// Sorted-after-range map reads and other intentional flows are the
+// audited exception: //accu:allow detflow -- <why>.
+func Detflow() *Analyzer {
+	a := &Analyzer{
+		Name: "detflow",
+		Doc: "track clock/env/global-rand/map-order values interprocedurally " +
+			"and flag any that reach digest, sketch or summary inputs in the " +
+			"deterministic packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgPathIn(pass.Path, strictPackages) && !pkgPathIn(pass.Path, timingPackages) &&
+			!pkgPathIs(pass.Path, "internal/stats") {
+			return nil
+		}
+		cg := NewCallGraph(pass.Pkg, pass.Info, pass.Files)
+		eng := NewTaintEngine(pass, cg)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sink, ok := detSink(pass, call)
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					if t := eng.ExprTaint(arg); t != nil {
+						pass.Reportf(arg.Pos(),
+							"%s-tainted value reaches deterministic sink %s (flow: %s); derive it from the seed tree or annotate the audited exception",
+							t.Kind, sink, t.Witness)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// detSinkMethods maps module package suffix → receiver named type →
+// method names whose inputs are pinned by the determinism invariants.
+var detSinkMethods = map[string]map[string]map[string]bool{
+	"internal/sim": {
+		"RecordDigest": {"Collect": true},
+		"Summary":      {"Collect": true},
+	},
+	"internal/stats": {
+		"Sketch":  {"Add": true},
+		"Welford": {"Add": true},
+		"Series":  {"Add": true},
+	},
+}
+
+// detSink reports whether call invokes a deterministic sink, with a
+// display name for the diagnostic.
+func detSink(pass *Pass, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(pass, call)
+	if f == nil || f.Pkg() == nil {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := namedRecvName(sig.Recv().Type())
+	for suffix, types := range detSinkMethods {
+		if pkgPathIs(f.Pkg().Path(), suffix) && types[recv][f.Name()] {
+			return "(" + recv + ")." + f.Name(), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, analysis.Detflow(), analysistest.Fixture{
+		Dir:        "testdata/src/detflow_sim",
+		ImportPath: "example.test/internal/sim",
+	})
+}
+
+// TestDetflowOutOfScope pins that the flow check stays quiet outside the
+// deterministic packages — handlers may time requests into metrics.
+func TestDetflowOutOfScope(t *testing.T) {
+	_, _, diags := analysistest.Diagnostics(t, analysis.Detflow(), analysistest.Fixture{
+		Dir:        "testdata/src/detflow_sim",
+		ImportPath: "example.test/internal/serv",
+	})
+	if len(diags) != 0 {
+		t.Fatalf("detflow out of scope reported %d findings, want 0: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysis.ErrDrop(), analysistest.Fixture{
+		Dir:        "testdata/src/errdrop_sim",
+		ImportPath: "example.test/internal/sim",
+	})
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FsyncAck returns the ack-after-durable analyzer for the service
+// layers: an HTTP handler in internal/serv or internal/dist must not
+// write a success response before the durable commit on that path. The
+// distributed exactly-once protocol rides on this ordering — a worker
+// treats an acked upload as committed, so a coordinator that responds
+// 200 and then fsyncs has promised durability it does not yet have; a
+// crash in the gap loses acknowledged cells (DESIGN §10,
+// fsync-before-ack).
+//
+// Response-write events are tracked per handler over the CFG: a call to
+// WriteHeader/Write on the handler's http.ResponseWriter parameter, or
+// passing that parameter to an in-package helper that writes it
+// (ParamSummary marks writeJSON-shaped helpers bottom-up). Helpers whose
+// name contains "Error" are exempt — error envelopes ack a failure, and
+// the durability contract only covers success acks. Durable commits are
+// the errdrop root set (journal Commit/Sync, store writes, atomic
+// renames) plus in-package functions PropagateUp summarizes as reaching
+// one. A durable call reached while a response-written fact is live is
+// the violation, reported with the commit's chain witness.
+//
+// Post-ack best-effort persistence (a cache write after responding) is
+// the audited exception: //accu:allow fsyncack -- <why>.
+func FsyncAck() *Analyzer {
+	a := &Analyzer{
+		Name: "fsyncack",
+		Doc: "flag HTTP handler paths in internal/serv and internal/dist that " +
+			"write a response before the durable commit on that path " +
+			"(ack-after-fsync ordering)",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgPathIn(pass.Path, []string{"internal/serv", "internal/dist"}) {
+			return nil
+		}
+		cg := NewCallGraph(pass.Pkg, pass.Info, pass.Files)
+
+		seeds := make(map[*types.Func]string)
+		for _, fn := range cg.Funcs() {
+			if desc := intrinsicDurable(pass, cg.DeclOf(fn)); desc != "" {
+				seeds[fn] = desc
+			}
+		}
+		durable := cg.PropagateUp(seeds, func(e CallEdge) bool { return !e.Async })
+
+		// writers[fn][i]: parameter i of fn is an http.ResponseWriter the
+		// body (transitively) writes to.
+		writers := cg.ParamSummary(pass.Info, func(fn *types.Func, decl *ast.FuncDecl, p *types.Var) bool {
+			if decl == nil || decl.Body == nil || !isResponseWriter(p.Type()) {
+				return false
+			}
+			found := false
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if respWriterMethod(pass, call) == p {
+						found = true
+					}
+				}
+				return true
+			})
+			return found
+		}, nil)
+
+		funcBodies(pass.Files, func(enclosing ast.Node, body *ast.BlockStmt) {
+			rw := responseWriterParam(pass, enclosing)
+			if rw == nil {
+				return
+			}
+			checkAckOrder(pass, cg, durable, writers, rw, body)
+		})
+		return nil
+	}
+	return a
+}
+
+// responseWriterParam returns the object of enclosing's
+// http.ResponseWriter parameter, or nil when it has none.
+func responseWriterParam(pass *Pass, enclosing ast.Node) types.Object {
+	var ft *ast.FuncType
+	switch e := enclosing.(type) {
+	case *ast.FuncDecl:
+		ft = e.Type
+	case *ast.FuncLit:
+		ft = e.Type
+	default:
+		return nil
+	}
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil && isResponseWriter(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// respWriterMethod returns the parameter object when call is
+// rw.WriteHeader(...) or rw.Write(...) on a ResponseWriter-typed ident.
+func respWriterMethod(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "WriteHeader" && sel.Sel.Name != "Write") {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !isResponseWriter(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// ackFact marks "a response has been written to rw on this path".
+type ackFact struct{ rw types.Object }
+
+// checkAckOrder runs the response-before-durable dataflow over one
+// handler body.
+func checkAckOrder(pass *Pass, cg *CallGraph, durable map[*types.Func]string, writers map[*types.Func]map[int]bool, rw types.Object, body *ast.BlockStmt) {
+	cfg := NewCFG(body)
+	transfer := func(n ast.Node, facts Facts) {
+		walkBlockNode(n, false, func(m ast.Node) bool {
+			switch m.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ackWrite(pass, cg, writers, rw, call) {
+				facts[ackFact{rw}] = call.Pos()
+			}
+			return true
+		})
+	}
+	in, _ := cfg.ForwardMay(transfer)
+	for _, b := range cfg.Blocks {
+		facts := in[b].clone()
+		for _, n := range b.Nodes {
+			reportDurableAfterAck(pass, cg, durable, n, facts)
+			transfer(n, facts)
+		}
+	}
+}
+
+// ackWrite reports whether call writes a response to rw: a direct
+// WriteHeader/Write, or rw passed to an in-package writer-summarized
+// parameter of a non-"Error" helper.
+func ackWrite(pass *Pass, cg *CallGraph, writers map[*types.Func]map[int]bool, rw types.Object, call *ast.CallExpr) bool {
+	if respWriterMethod(pass, call) == rw {
+		return true
+	}
+	callee := cg.StaticCallee(pass.Info, call)
+	if callee == nil || strings.Contains(callee.Name(), "Error") {
+		return false
+	}
+	marked := writers[callee]
+	if marked == nil {
+		return false
+	}
+	for i, arg := range call.Args {
+		if !marked[i] {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.Uses[id] == rw {
+			return true
+		}
+	}
+	return false
+}
+
+// reportDurableAfterAck reports durable calls inside one block node
+// while an ack fact is live.
+func reportDurableAfterAck(pass *Pass, cg *CallGraph, durable map[*types.Func]string, n ast.Node, facts Facts) {
+	if len(facts) == 0 {
+		return
+	}
+	var ackPos = facts[ackFact{}]
+	for k, p := range facts {
+		if _, ok := k.(ackFact); ok {
+			ackPos = p
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		desc, ok := durableCall(pass, call)
+		if !ok {
+			if callee := cg.StaticCallee(pass.Info, call); callee != nil {
+				if w, has := durable[callee]; has {
+					desc, ok = funcDisplayName(callee)+" → "+w, true
+				}
+			}
+		}
+		if !ok {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"durable commit %s runs after the response was already written (acked at line %d); commit before acknowledging so a crash in the gap cannot lose acked work",
+			desc, pass.Fset.Position(ackPos).Line)
+		return true
+	})
+}

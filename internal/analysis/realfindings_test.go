@@ -43,6 +43,18 @@ func TestRealTreeSuppressedFindings(t *testing.T) {
 			// become visible to waiters (durability-before-signal).
 			"lockedio": {"saveJob → os.WriteFile": 9},
 		},
+		// Wave-4 regression pins: errdrop surfaced a discarded
+		// (Coordinator).Close — a swallowed final fsync — on accudist's
+		// serve-error path, and wiretag surfaced sim.Record (the journal
+		// line payload) relying on encoding/json field-name fallback.
+		// Both are fixed; an empty pin set keeps the package in the
+		// nothing-unsuppressed sweep so the bugs cannot return. The
+		// stats entry pins detflow's third scope (the sketch/welford
+		// sink package) as clean — detflow, fsyncack and chanleak found
+		// no true positives in the tree, and this sweep is what keeps
+		// that verdict from silently eroding.
+		"github.com/accu-sim/accu/cmd/accudist":   {},
+		"github.com/accu-sim/accu/internal/stats": {},
 	}
 	for path, pinned := range pins {
 		t.Run(path[strings.LastIndex(path, "/")+1:], func(t *testing.T) {

@@ -63,6 +63,30 @@ type sarifResult struct {
 	Locations           []sarifLocation    `json:"locations"`
 	PartialFingerprints map[string]string  `json:"partialFingerprints,omitempty"`
 	Suppressions        []sarifSuppression `json:"suppressions,omitempty"`
+	Fixes               []sarifFix         `json:"fixes,omitempty"`
+}
+
+// sarifFix mirrors SuggestedFix for code-scanning UIs: one description
+// plus per-file artifactChanges whose replacements carry a deletedRegion
+// and insertedContent. Whether accuvet would auto-apply the fix rides in
+// result properties (machineApplicable), since SARIF has no native flag.
+type sarifFix struct {
+	Description     sarifMessage          `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifRegion           `json:"deletedRegion"`
+	InsertedContent *sarifArtifactContent `json:"insertedContent,omitempty"`
+}
+
+type sarifArtifactContent struct {
+	Text string `json:"text"`
 }
 
 type sarifLocation struct {
@@ -81,6 +105,8 @@ type sarifArtifactLocation struct {
 type sarifRegion struct {
 	StartLine   int `json:"startLine"`
 	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
 }
 
 type sarifSuppression struct {
@@ -136,6 +162,7 @@ func WriteSARIF(w io.Writer, fset *token.FileSet, diags []Diagnostic, suite []*A
 		if d.Suppressed {
 			res.Suppressions = []sarifSuppression{{Kind: "inSource"}}
 		}
+		res.Fixes = sarifFixes(fset, d.SuggestedFixes)
 		results = append(results, res)
 	}
 
@@ -150,6 +177,60 @@ func WriteSARIF(w io.Writer, fset *token.FileSet, diags []Diagnostic, suite []*A
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "\t")
 	return enc.Encode(log)
+}
+
+// sarifFixes converts suggested fixes to the SARIF fixes property.
+// Edits are grouped per file; a fix with an unresolvable edit is dropped
+// rather than emitted half-described.
+func sarifFixes(fset *token.FileSet, fixes []SuggestedFix) []sarifFix {
+	out := make([]sarifFix, 0, len(fixes))
+	for _, f := range fixes {
+		byURI := make(map[string]*sarifArtifactChange)
+		order := make([]string, 0, 1)
+		ok := len(f.Edits) > 0
+		for _, e := range f.Edits {
+			if !e.Pos.IsValid() || !e.End.IsValid() {
+				ok = false
+				break
+			}
+			ps, pe := fset.Position(e.Pos), fset.Position(e.End)
+			if ps.Filename == "" || pe.Filename != ps.Filename {
+				ok = false
+				break
+			}
+			uri := sarifURI(ps.Filename)
+			ch := byURI[uri]
+			if ch == nil {
+				ch = &sarifArtifactChange{ArtifactLocation: sarifArtifactLocation{URI: uri}}
+				byURI[uri] = ch
+				order = append(order, uri)
+			}
+			rep := sarifReplacement{
+				DeletedRegion: sarifRegion{
+					StartLine:   ps.Line,
+					StartColumn: ps.Column,
+					EndLine:     pe.Line,
+					EndColumn:   pe.Column,
+				},
+			}
+			if e.NewText != "" {
+				rep.InsertedContent = &sarifArtifactContent{Text: e.NewText}
+			}
+			ch.Replacements = append(ch.Replacements, rep)
+		}
+		if !ok {
+			continue
+		}
+		sf := sarifFix{Description: sarifMessage{Text: f.Message}}
+		for _, uri := range order {
+			sf.ArtifactChanges = append(sf.ArtifactChanges, *byURI[uri])
+		}
+		out = append(out, sf)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // sarifURI renders a diagnostic's file as a repo-relative, slash-

@@ -1,6 +1,6 @@
 package analysis
 
-// NewSuite returns fresh instances of the fourteen accuvet analyzers, in
+// NewSuite returns fresh instances of the nineteen accuvet analyzers, in
 // the order they report:
 //
 // Wave 1 — determinism invariants (AST + object identity):
@@ -26,6 +26,16 @@ package analysis
 //	ctxflow       — outgoing requests carry a context; poll loops consult it
 //	timerleak     — no time.After in loops, no time.Tick at all
 //
+// Wave 4 — flow-based invariants (interprocedural taint engine + CFG):
+//
+//	detflow       — no clock/env/rand/map-order value reaches a digest,
+//	                sketch or summary input in the deterministic packages
+//	errdrop       — no discarded error on a durability-critical call chain
+//	fsyncack      — handlers commit durably before writing the response
+//	wiretag       — //accu:wire structs carry explicit unique json tags,
+//	                no unkeyed literals; feeds the wire-schema lockfile
+//	chanleak      — no goroutine left blocked on an unreceived unbuffered send
+//
 // Instances hold per-run state (metricname's cross-package duplicate
 // table), so every checker invocation must call NewSuite rather than
 // sharing analyzers globally.
@@ -45,5 +55,10 @@ func NewSuite() []*Analyzer {
 		LockedIO(),
 		CtxFlow(),
 		TimerLeak(),
+		Detflow(),
+		ErrDrop(),
+		FsyncAck(),
+		WireTag(),
+		ChanLeak(),
 	}
 }

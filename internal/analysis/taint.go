@@ -1,0 +1,540 @@
+package analysis
+
+// taint.go is the wave-4 interprocedural value-taint/provenance engine.
+// A taint marks a value whose bits (or whose ordering) depend on
+// something outside the deterministic seed tree:
+//
+//	clock       — wall-clock reads (time.Now, Since, timers)
+//	env         — process environment (os.Getenv, LookupEnv, ...)
+//	global-rand — the unseeded math/rand globals or ad-hoc rand.New
+//	map-order   — values observed through map iteration order
+//
+// The engine computes, per package, a may-taint relation over objects
+// and expressions:
+//
+//   - Intraprocedurally each function body is swept with a ForwardMay
+//     pass over its CFG (cfg.go/dataflow.go): assignments, range
+//     bindings, struct-field writes and channel sends propagate taint
+//     from right to left; there are no kills (may-taint), so the pass
+//     converges in one sweep per loop nesting level.
+//   - Interprocedurally the package call graph (callgraph.go) carries
+//     two bounded summaries to a fixpoint: Returns (calling fn yields a
+//     tainted value regardless of arguments — fn wraps time.Now, say)
+//     and ParamFlows (argument i may flow into fn's return value, the
+//     per-parameter summary detflow threads call chains through).
+//     Both are context-insensitive and capped by the function count,
+//     mirroring PropagateUp.
+//
+// Witness chains are bounded like call-graph witnesses: a taint carries
+// "jitter → time.Now"-style provenance up to maxWitnessChain hops, so
+// diagnostics can show the path without recursion blowing the string up.
+//
+// Precision limits, deliberate: function-typed values and method values
+// are not tracked through calls (same escape hatch as the call graph);
+// a tainted write to one field coarsely taints the whole struct object;
+// map-order taints the `range` bindings of a map operand even when the
+// consumer sorts afterwards — the sorted-after pattern is the audited
+// //accu:allow detflow site, exactly as maporder handles it
+// syntactically.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TaintKind names one nondeterminism source class.
+type TaintKind string
+
+const (
+	TaintClock      TaintKind = "clock"
+	TaintEnv        TaintKind = "env"
+	TaintGlobalRand TaintKind = "global-rand"
+	TaintMapOrder   TaintKind = "map-order"
+)
+
+// A Taint is one provenance record: the source class plus a bounded
+// witness chain from the tainted value back to the source expression.
+type Taint struct {
+	Kind TaintKind
+	// Witness is the provenance chain, source-first is the LAST element:
+	// "d → jitter → time.Now".
+	Witness string
+	// Pos is the source position that introduced the taint.
+	Pos token.Pos
+}
+
+// extend prefixes one hop onto the witness chain, bounded.
+func (t *Taint) extend(hop string) *Taint {
+	w := t.Witness
+	if countHops(w) >= maxWitnessChain {
+		w = hop
+	} else {
+		w = hop + " ← " + w
+	}
+	return &Taint{Kind: t.Kind, Witness: w, Pos: t.Pos}
+}
+
+func countHops(w string) int {
+	return strings.Count(w, " ← ")
+}
+
+// A TaintEngine holds the package-level taint state: per-object taints
+// and the two interprocedural summaries.
+type TaintEngine struct {
+	pass *Pass
+	cg   *CallGraph
+
+	// objs is the may-taint table over the package's named objects
+	// (locals, params, package vars). First writer wins, so witnesses
+	// are stable across fixpoint sweeps.
+	objs map[types.Object]*Taint
+
+	// returns marks functions whose call result is tainted regardless
+	// of arguments (the body roots a source into a return value).
+	returns map[*types.Func]*Taint
+
+	// paramFlows[fn][i] means argument i may flow into fn's return
+	// value, so a tainted argument taints the call result.
+	paramFlows map[*types.Func]map[int]bool
+}
+
+// NewTaintEngine computes the package's taint state to a bounded
+// fixpoint over the call graph.
+func NewTaintEngine(pass *Pass, cg *CallGraph) *TaintEngine {
+	e := &TaintEngine{
+		pass:       pass,
+		cg:         cg,
+		objs:       make(map[types.Object]*Taint),
+		returns:    make(map[*types.Func]*Taint),
+		paramFlows: make(map[*types.Func]map[int]bool),
+	}
+	// Interprocedural fixpoint: each sweep re-runs every body's
+	// intraprocedural pass against the current summaries, then refreshes
+	// the summaries from the bodies' return expressions. Summaries only
+	// grow, so the sweep count is bounded by the function count.
+	for sweep := 0; sweep <= len(cg.Funcs()); sweep++ {
+		changed := false
+		for _, fn := range cg.Funcs() {
+			decl := cg.DeclOf(fn)
+			if decl == nil || decl.Body == nil {
+				continue
+			}
+			if e.sweepBody(fn, decl) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return e
+}
+
+// ObjTaint returns the taint recorded for an object, or nil.
+func (e *TaintEngine) ObjTaint(obj types.Object) *Taint { return e.objs[obj] }
+
+// sweepBody runs one intraprocedural pass over fn's body and refreshes
+// fn's summaries; it reports whether anything changed.
+func (e *TaintEngine) sweepBody(fn *types.Func, decl *ast.FuncDecl) bool {
+	changed := e.propagateBody(decl.Body)
+
+	// Returns summary: any return expression tainted regardless of
+	// parameters → calling fn taints the result.
+	// ParamFlows summary: a return expression tainted only because a
+	// parameter is (pretend-taint each param in turn? too quadratic) —
+	// instead: a return expression that *mentions* parameter i flows it
+	// to the caller. This over-approximates (the mention may be dead in
+	// the value), matching the engine's may-taint discipline.
+	sig := fn.Type().(*types.Signature)
+	params := make(map[types.Object]int, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		params[sig.Params().At(i)] = i
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if t := e.ExprTaint(res); t != nil && e.returns[fn] == nil {
+				e.returns[fn] = t.extend(funcDisplayName(fn))
+				changed = true
+			}
+			for obj, i := range params {
+				if exprMentions(e.pass, res, obj) && !e.paramFlows[fn][i] {
+					if e.paramFlows[fn] == nil {
+						e.paramFlows[fn] = make(map[int]bool)
+					}
+					e.paramFlows[fn][i] = true
+					changed = true
+				}
+			}
+		}
+		return true
+	})
+	// Named result parameters: an assignment to a named result inside
+	// the body roots through the plain object table; a bare return then
+	// returns those objects. Treat a tainted named result as a tainted
+	// return.
+	if res := sig.Results(); e.returns[fn] == nil && res != nil {
+		for i := 0; i < res.Len(); i++ {
+			if t := e.objs[res.At(i)]; t != nil {
+				e.returns[fn] = t.extend(funcDisplayName(fn))
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// propagateBody runs the CFG ForwardMay gen-only pass over one body,
+// including nested function literals (each under its own CFG); it
+// reports whether the object table grew.
+func (e *TaintEngine) propagateBody(body *ast.BlockStmt) bool {
+	before := len(e.objs)
+	var bodies []*ast.BlockStmt
+	bodies = append(bodies, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	for _, b := range bodies {
+		// Range bindings are handled by direct walk: the CFG's range head
+		// carries only the operand expression, not the RangeStmt, and the
+		// object table is flow-insensitive anyway.
+		ast.Inspect(b, func(n ast.Node) bool {
+			if r, ok := n.(*ast.RangeStmt); ok {
+				e.transferRange(r, nil)
+			}
+			return true
+		})
+		cfg := NewCFG(b)
+		// The fact set carries tainted objects for ForwardMay's fixpoint
+		// bookkeeping; the payload table e.objs is shared and first-
+		// writer-wins, so re-running transfer across sweeps is stable.
+		transfer := func(n ast.Node, facts Facts) {
+			walkBlockNode(n, false, func(m ast.Node) bool {
+				e.transferNode(m, facts)
+				return true
+			})
+		}
+		cfg.ForwardMay(transfer)
+	}
+	return len(e.objs) != before
+}
+
+// taintObj records obj as tainted (first writer wins) and mirrors it
+// into the local fact set.
+func (e *TaintEngine) taintObj(obj types.Object, t *Taint, facts Facts) {
+	if obj == nil || t == nil {
+		return
+	}
+	if _, ok := e.objs[obj]; !ok {
+		e.objs[obj] = t
+	}
+	if facts != nil {
+		if _, ok := facts[obj]; !ok {
+			facts[obj] = t.Pos
+		}
+	}
+}
+
+// transferNode applies one node's gen effects to the taint state.
+func (e *TaintEngine) transferNode(n ast.Node, facts Facts) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		e.transferAssign(n.Lhs, n.Rhs, facts)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					e.transferAssign(lhs, vs.Values, facts)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		e.transferRange(n, facts)
+	case *ast.SendStmt:
+		// A tainted value sent over a channel taints the channel: any
+		// later receive observes tainted bits.
+		if t := e.ExprTaint(n.Value); t != nil {
+			if obj := exprBaseObject(e.pass, n.Chan); obj != nil {
+				e.taintObj(obj, t.extend("chan "+obj.Name()), facts)
+			}
+		}
+	}
+}
+
+// transferAssign propagates rhs taint onto lhs objects. A tainted
+// field write (x.f = rhs) coarsely taints the base object x.
+func (e *TaintEngine) transferAssign(lhs, rhs []ast.Expr, facts Facts) {
+	taintLHS := func(l ast.Expr, t *Taint) {
+		if t == nil {
+			return
+		}
+		switch l := ast.Unparen(l).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				return
+			}
+			if obj := identObj(e.pass, l); obj != nil {
+				e.taintObj(obj, t.extend(l.Name), facts)
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			if obj := exprBaseObject(e.pass, l); obj != nil {
+				e.taintObj(obj, t.extend(obj.Name()), facts)
+			}
+		}
+	}
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			taintLHS(lhs[i], e.ExprTaint(rhs[i]))
+		}
+		return
+	}
+	// Multi-value form (x, y := f()): a tainted producer taints every
+	// binding — the engine does not track result positions.
+	if len(rhs) == 1 {
+		t := e.ExprTaint(rhs[0])
+		for _, l := range lhs {
+			taintLHS(l, t)
+		}
+	}
+}
+
+// transferRange taints range bindings: over a map, the bindings carry
+// map-order taint; over any tainted operand, they inherit its taint.
+func (e *TaintEngine) transferRange(n *ast.RangeStmt, facts Facts) {
+	var t *Taint
+	if tv, ok := e.pass.Info.Types[n.X]; ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			t = &Taint{Kind: TaintMapOrder, Witness: "range over map " + exprText(n.X), Pos: n.X.Pos()}
+		}
+	}
+	if t == nil {
+		t = e.ExprTaint(n.X)
+	}
+	if t == nil {
+		return
+	}
+	for _, b := range []ast.Expr{n.Key, n.Value} {
+		if b == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(b).(*ast.Ident); ok && id.Name != "_" {
+			if obj := identObj(e.pass, id); obj != nil {
+				e.taintObj(obj, t.extend(id.Name), facts)
+			}
+		}
+	}
+}
+
+// ExprTaint reports whether the expression's value may be tainted,
+// with provenance; nil when clean. It recognizes intrinsic sources,
+// tainted objects (directly or as the base of a selector/index/deref),
+// tainted channel receives, and calls through the Returns/ParamFlows
+// summaries.
+func (e *TaintEngine) ExprTaint(expr ast.Expr) *Taint {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.objs[identObj(e.pass, x)]
+	case *ast.SelectorExpr:
+		// A field or method read off a tainted base is tainted; a
+		// package-qualified name is handled by the call case.
+		if obj := exprBaseObject(e.pass, x); obj != nil {
+			return e.objs[obj]
+		}
+		return nil
+	case *ast.IndexExpr:
+		if t := e.ExprTaint(x.X); t != nil {
+			return t
+		}
+		return e.ExprTaint(x.Index)
+	case *ast.StarExpr:
+		return e.ExprTaint(x.X)
+	case *ast.UnaryExpr:
+		// <-ch observes whatever was sent; a tainted channel taints the
+		// receive. Other unary ops propagate operand taint.
+		return e.ExprTaint(x.X)
+	case *ast.BinaryExpr:
+		if t := e.ExprTaint(x.X); t != nil {
+			return t
+		}
+		return e.ExprTaint(x.Y)
+	case *ast.CallExpr:
+		return e.callTaint(x)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if t := e.ExprTaint(el); t != nil {
+				return t
+			}
+		}
+		return nil
+	case *ast.SliceExpr:
+		return e.ExprTaint(x.X)
+	case *ast.TypeAssertExpr:
+		return e.ExprTaint(x.X)
+	case *ast.FuncLit:
+		return nil
+	}
+	return nil
+}
+
+// callTaint resolves a call expression's result taint: an intrinsic
+// source, a Returns-summarized in-package callee, a tainted argument
+// flowing through a ParamFlows-summarized parameter, or a conversion of
+// a tainted operand.
+func (e *TaintEngine) callTaint(call *ast.CallExpr) *Taint {
+	if t := sourceCall(e.pass, call); t != nil {
+		return t
+	}
+	// Type conversions (T(x)) keep the operand's taint.
+	if fun, ok := e.pass.Info.Types[call.Fun]; ok && fun.IsType() && len(call.Args) == 1 {
+		return e.ExprTaint(call.Args[0])
+	}
+	f := calleeFunc(e.pass, call)
+	if f == nil {
+		// Builtins: len/cap of a tainted value stays tainted enough for
+		// provenance purposes; append propagates element taint.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			switch id.Name {
+			case "append", "len", "cap", "min", "max":
+				for _, a := range call.Args {
+					if t := e.ExprTaint(a); t != nil {
+						return t
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if t := e.returns[f]; t != nil {
+		return t
+	}
+	if flows := e.paramFlows[f]; flows != nil {
+		for i, arg := range call.Args {
+			if flows[i] {
+				if t := e.ExprTaint(arg); t != nil {
+					return t.extend(funcDisplayName(f))
+				}
+			}
+		}
+	}
+	// A method call on a tainted receiver yields tainted data (the
+	// receiver's state embeds the source) — recursively, so chains like
+	// time.Now().UnixNano() resolve without an intermediate variable.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if t := e.ExprTaint(sel.X); t != nil {
+				return t.extend(funcDisplayName(f))
+			}
+		}
+	}
+	return nil
+}
+
+// sourceCall recognizes the intrinsic taint sources: wall-clock reads,
+// environment reads, and the global math/rand surface.
+func sourceCall(pass *Pass, call *ast.CallExpr) *Taint {
+	f := calleeFunc(pass, call)
+	if f == nil || f.Pkg() == nil {
+		return nil
+	}
+	name := f.Pkg().Path() + "." + f.Name()
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		// Methods: a Rand method on an ad-hoc generator is caught when
+		// the generator object itself is tainted by rand.New.
+		return nil
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if clockFuncs[f.Name()] {
+			return &Taint{Kind: TaintClock, Witness: name, Pos: call.Pos()}
+		}
+	case "os":
+		if envFuncs[f.Name()] {
+			return &Taint{Kind: TaintEnv, Witness: name, Pos: call.Pos()}
+		}
+	case "math/rand", "math/rand/v2":
+		// Every package-level function draws from the shared global
+		// generator; rand.New's result is an ad-hoc generator the seed
+		// tree does not govern.
+		return &Taint{Kind: TaintGlobalRand, Witness: name, Pos: call.Pos()}
+	}
+	return nil
+}
+
+// exprBaseObject walks to the base identifier's object of a selector /
+// index / deref / slice chain; nil when the base is not a plain object
+// (a call result, say).
+func exprBaseObject(pass *Pass, expr ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return identObj(pass, x)
+		case *ast.SelectorExpr:
+			// Package-qualified selector: the base "object" would be the
+			// package name, never a value — stop.
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := pass.Info.Uses[id].(*types.PkgName); isPkg {
+					return nil
+				}
+			}
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.SliceExpr:
+			expr = x.X
+		case *ast.UnaryExpr:
+			expr = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprMentions reports whether expr references obj anywhere.
+func exprMentions(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprText renders a short display form of an expression for witnesses.
+func exprText(expr ast.Expr) string {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	}
+	return "expr"
+}

@@ -1,0 +1,99 @@
+// Fixture for the chanleak analyzer: goroutines blocked forever on an
+// unbuffered send when the spawner can exit without receiving — the
+// timed-handoff shape — against the sanctioned fixes (buffering, select
+// guards, escape to a real consumer).
+package sim
+
+import "time"
+
+func compute() int { return 1 }
+
+func timeoutLeak(timeout time.Duration) int {
+	ch := make(chan int)
+	go func() { ch <- compute() }() // want `goroutine sends on unbuffered channel ch but the spawning function can return without receiving`
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(timeout):
+		return -1
+	}
+}
+
+func earlyReturnLeak(cond bool) int {
+	ch := make(chan int)
+	go func() { ch <- compute() }() // want `goroutine sends on unbuffered channel ch but the spawning function can return without receiving`
+	if cond {
+		return 0
+	}
+	return <-ch
+}
+
+// a buffer of one lets the sender complete regardless: clean.
+func bufferedHandoff(timeout time.Duration) int {
+	ch := make(chan int, 1)
+	go func() { ch <- compute() }()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(timeout):
+		return -1
+	}
+}
+
+// a select with an escape arm lets the sender bail: clean.
+func guardedSend(done chan struct{}) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		case <-done:
+		}
+	}()
+	<-ch
+}
+
+// receives on every path discharge the sender: clean.
+func receiveAlways() int {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	v := <-ch
+	return v
+}
+
+// the consumer lives in another goroutine (worker pool): out of scope,
+// clean.
+func workerPool() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+func deliver(ch chan int) { go func() { ch <- compute() }() }
+
+// an escaping channel may have a receiver anywhere: clean.
+func escapes(cond bool) int {
+	ch := make(chan int)
+	deliver(ch)
+	if cond {
+		return 0
+	}
+	return <-ch
+}
+
+// fire-and-forget with an audited reason.
+func allowedHandoff(cond bool) int {
+	ch := make(chan int)
+	//accu:allow chanleak -- prototype shape kept for the fixture; production uses a buffer
+	go func() { ch <- compute() }()
+	if cond {
+		return 0
+	}
+	return <-ch
+}

@@ -1,0 +1,71 @@
+// Fixture for the errdrop analyzer: discarded, blank-assigned and
+// defer/go-dropped errors on durability-critical call chains — direct
+// roots, the module journal surface, and in-package summarized helpers.
+package sim
+
+import "os"
+
+// CellJournal mirrors the production journal: its Commit/Sync/Close are
+// module durable roots recognized by receiver type.
+type CellJournal struct{}
+
+func (j *CellJournal) Commit(line string) error { return nil }
+
+func (j *CellJournal) Sync() error { return nil }
+
+func (j *CellJournal) Close() error { return nil }
+
+func discardedCommit(j *CellJournal, line string) {
+	j.Commit(line) // want `error from durable call \(CellJournal\)\.Commit discarded`
+}
+
+func blankSync(j *CellJournal) {
+	_ = j.Sync() // want `error from durable call \(CellJournal\)\.Sync blank-assigned`
+}
+
+func deferredClose(j *CellJournal) {
+	defer j.Close() // want `error from durable call \(CellJournal\)\.Close deferred with its error discarded`
+}
+
+func discardedWrite(path string, data []byte) {
+	os.WriteFile(path, data, 0o600) // want `error from durable call os\.WriteFile discarded`
+}
+
+// swap is the in-package hop the summary propagates through.
+func swap(tmp, path string) error {
+	return os.Rename(tmp, path)
+}
+
+func discardedViaHelper(tmp, path string) {
+	swap(tmp, path) // want `error from durable call swap → os\.Rename discarded`
+}
+
+func asyncSwap(tmp, path string) {
+	go swap(tmp, path) // want `error from durable call swap → os\.Rename spawned with its error discarded`
+}
+
+// checked errors are the point: clean.
+func checkedCommit(j *CellJournal, line string) error {
+	if err := j.Commit(line); err != nil {
+		return err
+	}
+	return j.Sync()
+}
+
+// non-durable discards are not this analyzer's business: clean.
+func ping() error { return nil }
+
+func discardedPing() {
+	ping()
+}
+
+// best-effort cleanup on an already-failing path is the audited
+// exception.
+func allowedBestEffort(j *CellJournal) error {
+	if err := j.Sync(); err != nil {
+		//accu:allow errdrop -- best-effort close on the failure path; Sync error already propagates
+		j.Close()
+		return err
+	}
+	return nil
+}

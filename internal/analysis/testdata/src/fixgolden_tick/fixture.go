@@ -1,0 +1,15 @@
+// Package sim is the timerleak autofix golden fixture: one time.Tick
+// call whose machine-applicable fix rewrites it to time.NewTicker(d).C.
+package sim
+
+import "time"
+
+func poll(stop chan struct{}) {
+	for {
+		select {
+		case <-time.Tick(5 * time.Millisecond):
+		case <-stop:
+			return
+		}
+	}
+}

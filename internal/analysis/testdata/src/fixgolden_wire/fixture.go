@@ -1,0 +1,14 @@
+// Package sim is the wiretag autofix golden fixture: a marked wire
+// struct with one untagged field and one unkeyed composite literal,
+// both carrying machine-applicable fixes.
+package sim
+
+//accu:wire
+type Header struct {
+	Cells int `json:"cells"`
+	Crc   uint32
+}
+
+func mk() Header {
+	return Header{3, 9}
+}

@@ -1,0 +1,78 @@
+// Fixture for the fsyncack analyzer: HTTP handler paths that write the
+// response before the durable commit — directly, through an in-package
+// writeJSON-shaped helper, and through a summarized durable helper.
+package serv
+
+import (
+	"net/http"
+	"os"
+
+	"example.test/internal/sim"
+)
+
+type api struct {
+	j    *sim.CellJournal
+	tmp  string
+	path string
+}
+
+// writeJSON is the success-envelope helper ParamSummary marks.
+func writeJSON(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// writeError is the error envelope: failure acks carry no durability
+// promise, so the analyzer exempts it by name.
+func writeError(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+func (a *api) handleAckFirst(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK)
+	a.j.Commit("cell") // want `durable commit \(CellJournal\)\.Commit runs after the response was already written`
+}
+
+func (a *api) handleDirectWrite(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	os.Rename(a.tmp, a.path) // want `durable commit os\.Rename runs after the response was already written`
+}
+
+// persist is the in-package durable hop the summary resolves.
+func (a *api) persist() error {
+	return a.j.Commit("cell")
+}
+
+func (a *api) handleViaHelper(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK)
+	a.persist() // want `durable commit \(\*api\)\.persist → \(CellJournal\)\.Commit runs after the response was already written`
+}
+
+// commit-then-ack is the contract: clean.
+func (a *api) handleDurableFirst(w http.ResponseWriter, r *http.Request) {
+	if err := a.j.Commit("cell"); err != nil {
+		writeError(w, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK)
+}
+
+// an error envelope before cleanup persistence is not a success ack:
+// clean.
+func (a *api) handleErrorPath(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusBadRequest)
+	a.j.Commit("abort-marker")
+}
+
+// async post-ack work does not hold up this response: clean (chanleak
+// and errdrop own the goroutine's own discipline).
+func (a *api) handleAsyncAfterAck(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK)
+	go a.persist()
+}
+
+// post-ack best-effort persistence is the audited exception.
+func (a *api) handleAllowedCacheWrite(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK)
+	//accu:allow fsyncack -- best-effort cache refresh; the ack covers the journal commit above
+	os.WriteFile(a.path, nil, 0o600)
+}

@@ -1,0 +1,65 @@
+// Fixture for the wiretag analyzer: //accu:wire structs must carry
+// explicit unique json tags and be built with keyed literals.
+package sim
+
+// CellKey is flattened into CellLine on the wire.
+//
+//accu:wire
+type CellKey struct {
+	Network int `json:"network"`
+	Run     int `json:"run"`
+}
+
+// CellLine is the journal/wire line format.
+//
+//accu:wire
+type CellLine struct {
+	CellKey
+	Records int    `json:"records"`
+	Payload string // want `exported field Payload has no explicit json tag`
+	note    string // unexported: not serialized, clean
+}
+
+//accu:wire
+type Dup struct {
+	A int `json:"x"`
+	B int `json:"x"` // want `json tag "x" on field B duplicates field A`
+}
+
+//accu:wire
+type EmptyName struct {
+	C int `json:","` // want `field C has a json tag with an empty name`
+}
+
+//accu:wire
+type Tagged struct {
+	D int `db:"d"` // want `exported field D has no explicit json tag`
+}
+
+//accu:wire
+type Skipped struct {
+	Visible int `json:"visible"`
+	Hidden  int `json:"-"` // explicitly excluded: clean
+}
+
+// Free is unmarked: wire discipline does not apply.
+type Free struct {
+	Whatever int
+}
+
+func positional() CellLine {
+	return CellLine{CellKey{1, 2}, 3, "p", ""} // want `unkeyed composite literal of wire struct CellLine` `unkeyed composite literal of wire struct CellKey`
+}
+
+func keyed() CellLine {
+	return CellLine{CellKey: CellKey{Network: 1, Run: 2}, Records: 3}
+}
+
+func freePositional() Free {
+	return Free{1}
+}
+
+func allowedPositional() CellKey {
+	//accu:allow wiretag -- constructor-local literal, field order pinned by the adjacent test
+	return CellKey{1, 2}
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/accu-sim/accu/internal/analysis"
+	"github.com/accu-sim/accu/internal/analysis/analysistest"
+)
+
+func TestWireTag(t *testing.T) {
+	analysistest.Run(t, analysis.WireTag(), analysistest.Fixture{
+		Dir:        "testdata/src/wiretag_sim",
+		ImportPath: "example.test/internal/sim",
+	})
+}

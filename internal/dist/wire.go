@@ -27,6 +27,8 @@ import "github.com/accu-sim/accu/internal/sim"
 // Run: c % Runs}. The deadline extends every time the coordinator
 // accepts cells from this lease, so the TTL measures "no durable
 // progress", not total range runtime.
+//
+//accu:wire
 type Lease struct {
 	ID    string `json:"id"`
 	Start int    `json:"start"`
@@ -35,6 +37,8 @@ type Lease struct {
 }
 
 // LeaseRequest asks for the next available range.
+//
+//accu:wire
 type LeaseRequest struct {
 	Worker string `json:"worker"`
 }
@@ -42,6 +46,8 @@ type LeaseRequest struct {
 // LeaseResponse answers a lease request: Done means every cell of the
 // grid is durable and the worker should exit; a nil Lease with Done
 // false means every remaining range is currently leased — poll again.
+//
+//accu:wire
 type LeaseResponse struct {
 	Done  bool   `json:"done"`
 	Lease *Lease `json:"lease,omitempty"`
@@ -52,6 +58,8 @@ type LeaseResponse struct {
 // other upload already committed; Rejected counts cells outside the
 // grid. Done mirrors LeaseResponse.Done so an uploader learns about
 // completion without an extra poll.
+//
+//accu:wire
 type UploadResponse struct {
 	Accepted  int  `json:"accepted"`
 	Duplicate int  `json:"duplicate"`
@@ -61,6 +69,8 @@ type UploadResponse struct {
 
 // FailRequest reports a worker-side range failure so the coordinator can
 // release the lease immediately instead of waiting out the TTL.
+//
+//accu:wire
 type FailRequest struct {
 	Worker string `json:"worker"`
 	Lease  string `json:"lease"`
@@ -68,6 +78,8 @@ type FailRequest struct {
 }
 
 // RangeStatus describes one range in a status snapshot.
+//
+//accu:wire
 type RangeStatus struct {
 	Start     int    `json:"start"`
 	End       int    `json:"end"`
@@ -77,6 +89,8 @@ type RangeStatus struct {
 }
 
 // Status is the coordinator's poll snapshot.
+//
+//accu:wire
 type Status struct {
 	Total     int           `json:"total"`
 	Committed int           `json:"committed"`

@@ -37,6 +37,8 @@ func (s State) terminal() bool {
 // Done counts records delivered by the current (or last) run, Resumed the
 // records that were already durable in the job's checkpoint when that run
 // started; Done + Resumed out of Total is grid-wide completion.
+//
+//accu:wire
 type Progress struct {
 	Done    int64 `json:"done"`
 	Resumed int64 `json:"resumed"`
@@ -48,6 +50,8 @@ type Progress struct {
 // fields (whose merges can differ in the last float bits depending on
 // fold order), they serialize byte-identically for any merge order or
 // partition of the same record set.
+//
+//accu:wire
 type PolicyResult struct {
 	Policy                string                `json:"policy"`
 	FinalBenefit          stats.WelfordSnapshot `json:"finalBenefit"`
@@ -61,6 +65,8 @@ type PolicyResult struct {
 // and the canonical record-set digest, which is bit-identical to an
 // uninterrupted run of the same Spec at any worker count, interruption
 // point or service restart.
+//
+//accu:wire
 type Result struct {
 	// Records is the number of (policy, network, run) records aggregated.
 	Records int `json:"records"`
@@ -78,6 +84,8 @@ type Result struct {
 // the store journals to disk on every state transition. The per-record
 // progress of a running job lives in the cell checkpoint (durable) and
 // in-memory atomics (live view), not here.
+//
+//accu:wire
 type Job struct {
 	ID       string `json:"id"`
 	Tenant   string `json:"tenant"`

@@ -220,6 +220,8 @@ func (s *Server) updateGauges() {
 }
 
 // SubmitRequest is the POST /api/v1/jobs payload.
+//
+//accu:wire
 type SubmitRequest struct {
 	// ID, when set, names the job (lowercase [a-z0-9_], ≤ 64 chars); a
 	// resubmission of an existing ID is rejected with ErrDuplicateJob,

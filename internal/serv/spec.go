@@ -16,6 +16,8 @@ import (
 
 // PolicySpec names one policy of the roster. WD/WI apply to "abm" only
 // (0/0 means the paper's balanced default weights).
+//
+//accu:wire
 type PolicySpec struct {
 	// Name is one of abm, greedy, maxdegree, pagerank, random.
 	Name string  `json:"name"`
@@ -29,6 +31,8 @@ type PolicySpec struct {
 // NewSeed(seed, 2·seed+1), so a job's record digest can be compared
 // bit-for-bit against a local `accurun -runs N -digest` of the same
 // parameters.
+//
+//accu:wire
 type Spec struct {
 	// Preset is the dataset stand-in ("facebook", "slashdot", "twitter",
 	// "dblp"); Scale shrinks it (0 defaults to 0.02).

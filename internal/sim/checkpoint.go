@@ -12,6 +12,8 @@ import (
 )
 
 // CellKey identifies one (network, run) cell of the Monte-Carlo grid.
+//
+//accu:wire
 type CellKey struct {
 	Network int `json:"network"`
 	Run     int `json:"run"`
@@ -39,6 +41,8 @@ type Checkpointer interface {
 // It is the wire format shared by CellJournal's on-disk JSONL and the
 // internal/dist cell-upload stream, so a journal file and a worker
 // upload body are interchangeable line for line.
+//
+//accu:wire
 type CellLine struct {
 	CellKey
 	Records []Record `json:"records"`

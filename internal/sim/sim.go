@@ -206,14 +206,18 @@ func DefaultFactories(w Weights, opts ...core.Option) ([]PolicyFactory, error) {
 	}, nil
 }
 
-// Record is the outcome of one (policy, network, run) cell.
+// Record is the outcome of one (policy, network, run) cell. It rides
+// inside every CellLine, so it is journal/upload wire format too.
+//
+//accu:wire
 type Record struct {
 	// Policy is the factory name.
-	Policy string
+	Policy string `json:"Policy"`
 	// Network and Run locate the Monte-Carlo cell.
-	Network, Run int
+	Network int `json:"Network"`
+	Run     int `json:"Run"`
 	// Result is the full attack trace.
-	Result *core.Result
+	Result *core.Result `json:"Result"`
 }
 
 // engineMetrics holds the runner's instruments, resolved once per Run so

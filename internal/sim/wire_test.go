@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestWireStructsTagged pins the //accu:wire contract with reflection:
+// every exported, non-embedded field of the journal/upload wire structs
+// must carry an explicit json tag, so a Go-level rename can never
+// silently change the encoded field name. This is the runtime twin of
+// the wiretag analyzer — it fails even if the analyzer regresses.
+func TestWireStructsTagged(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(CellKey{}),
+		reflect.TypeOf(CellLine{}),
+		reflect.TypeOf(Record{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			if f.Anonymous || !f.IsExported() {
+				continue
+			}
+			if _, ok := f.Tag.Lookup("json"); !ok {
+				t.Errorf("%s.%s has no explicit json tag; encoding/json would fall back to the field name", typ.Name(), f.Name)
+			}
+		}
+	}
+}
+
+// TestCellLineWireFormat pins the exact journal-line encoding byte for
+// byte. CellLine is shared by the on-disk cell journal and the dist
+// cell-upload stream; any drift here breaks replay of existing journals
+// and mixed-version coordinator/worker clusters.
+func TestCellLineWireFormat(t *testing.T) {
+	line := CellLine{
+		CellKey: CellKey{Network: 2, Run: 7},
+		Records: []Record{{Policy: "abm", Network: 2, Run: 7}},
+	}
+	got, err := json.Marshal(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"network":2,"run":7,"records":[{"Policy":"abm","Network":2,"Run":7,"Result":null}]}`
+	if string(got) != want {
+		t.Errorf("CellLine wire format drifted:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeBlock drives the columnar block decoder with arbitrary
+// payloads. The decoder sits behind a CRC frame, but structural
+// corruption inside a valid frame must still fail cleanly — never
+// panic, never over-allocate — and every payload it accepts must
+// round-trip stably through encodeBlock.
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	rows := []StoreRecord{
+		{Policy: "abm", Network: 0, Run: 0, Benefit: 0.25, CautiousFriends: 10},
+		{Policy: "abm", Network: 0, Run: 1, Benefit: 0.5, CautiousFriends: 10},
+		{Policy: "random", Network: 3, Run: 7, Benefit: math.Inf(1), CautiousFriends: 0},
+	}
+	f.Add(encodeBlock(rows))
+	f.Add(encodeBlock(nil))
+	f.Add(encodeBlock(rows[:1]))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		decoded, err := decodeBlock(payload)
+		if err != nil {
+			return // rejecting corruption loudly is the contract
+		}
+		again, err := decodeBlock(encodeBlock(decoded))
+		if err != nil {
+			t.Fatalf("accepted payload does not re-decode: %v", err)
+		}
+		if len(again) != len(decoded) {
+			t.Fatalf("round trip changed row count: %d -> %d", len(decoded), len(again))
+		}
+		for i := range decoded {
+			a, b := decoded[i], again[i]
+			// Compare Benefit by bit pattern so NaN payloads count as equal.
+			if a.Policy != b.Policy || a.Network != b.Network || a.Run != b.Run ||
+				a.CautiousFriends != b.CautiousFriends ||
+				math.Float64bits(a.Benefit) != math.Float64bits(b.Benefit) {
+				t.Fatalf("round trip changed row %d: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}

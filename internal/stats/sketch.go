@@ -302,6 +302,8 @@ func sortedKeys(m map[int32]int64, desc bool) []int32 {
 
 // SketchCentroid is one bucket of a sketch snapshot: the level-scaled
 // bucket index and its exact observation count.
+//
+//accu:wire
 type SketchCentroid struct {
 	Index int32 `json:"i"`
 	Count int64 `json:"n"`
@@ -314,6 +316,8 @@ type SketchCentroid struct {
 // were partitioned or in which order partial sketches were merged. Min,
 // Max and the convenience quantiles are pure functions of that state
 // (0, not NaN, when the sketch is empty, keeping the JSON valid).
+//
+//accu:wire
 type SketchSnapshot struct {
 	Count int64   `json:"count"`
 	Min   float64 `json:"min"`

@@ -9,6 +9,8 @@ package stats
 // folded in a different order can differ from a single-stream
 // accumulation in the last few bits. The Sketch snapshot, by contrast,
 // is byte-stable under any merge order.)
+//
+//accu:wire
 type WelfordSnapshot struct {
 	Count    int64   `json:"count"`
 	Mean     float64 `json:"mean"`
